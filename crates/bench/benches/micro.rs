@@ -1,0 +1,108 @@
+//! Criterion microbenchmarks for the computational kernels: Boys function,
+//! shell-quartet ERI classes, Schwarz screening, sequential Fock build,
+//! Jacobi eigensolver, GEMM, and one purification iteration.
+
+use chem::reorder::ShellOrdering;
+use chem::shells::BasisInstance;
+use chem::{generators, BasisSetKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use eri::boys::boys;
+use eri::{EriEngine, Screening};
+use fock_core::seq::build_g_seq;
+use fock_core::tasks::FockProblem;
+use linalg::eig::sym_eig;
+use linalg::gemm::gemm;
+use linalg::purify::purify_canonical;
+use linalg::Mat;
+use std::hint::black_box;
+
+fn bench_boys(c: &mut Criterion) {
+    let mut out = [0.0f64; 9];
+    c.bench_function("boys_m8_series", |b| {
+        b.iter(|| {
+            boys(8, black_box(7.3), &mut out);
+            black_box(out[0])
+        })
+    });
+    c.bench_function("boys_m8_asymptotic", |b| {
+        b.iter(|| {
+            boys(8, black_box(92.0), &mut out);
+            black_box(out[0])
+        })
+    });
+}
+
+fn bench_eri_classes(c: &mut Criterion) {
+    // Representative shell classes from cc-pVDZ carbon/hydrogen.
+    let basis = BasisInstance::new(generators::methane(), BasisSetKind::CcPvdz).unwrap();
+    let find = |l: u8, np: usize| {
+        basis
+            .shells
+            .iter()
+            .find(|s| s.l == l && s.nprim() == np)
+            .unwrap_or_else(|| panic!("no ({l},{np}) shell"))
+            .clone()
+    };
+    let s9 = find(0, 9);
+    let s1 = find(0, 1);
+    let p4 = find(1, 4);
+    let d1 = find(2, 1);
+    let mut eng = EriEngine::new();
+    let mut out = Vec::new();
+    let mut group = c.benchmark_group("eri_quartet");
+    group.bench_function("ssss_deep(9999prim)", |b| {
+        b.iter(|| eng.quartet(&s9, &s9, &s9, &s9, &mut out))
+    });
+    group.bench_function("ssss_shallow", |b| b.iter(|| eng.quartet(&s1, &s1, &s1, &s1, &mut out)));
+    group.bench_function("pppp", |b| b.iter(|| eng.quartet(&p4, &p4, &p4, &p4, &mut out)));
+    group.bench_function("dddd", |b| b.iter(|| eng.quartet(&d1, &d1, &d1, &d1, &mut out)));
+    group.bench_function("dsds", |b| b.iter(|| eng.quartet(&d1, &s1, &d1, &s1, &mut out)));
+    group.finish();
+}
+
+fn bench_screening(c: &mut Criterion) {
+    let basis = BasisInstance::new(generators::linear_alkane(6), BasisSetKind::Sto3g).unwrap();
+    c.bench_function("screening_c6h14_sto3g", |b| {
+        b.iter(|| Screening::compute(black_box(&basis), 1e-10))
+    });
+}
+
+fn bench_fock_build(c: &mut Criterion) {
+    let prob = FockProblem::new(
+        generators::water(),
+        BasisSetKind::Sto3g,
+        1e-10,
+        ShellOrdering::cells_default(),
+    )
+    .unwrap();
+    let nbf = prob.nbf();
+    let d = vec![0.1; nbf * nbf];
+    c.bench_function("fock_seq_water_sto3g", |b| b.iter(|| build_g_seq(&prob, &d)));
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let n = 96;
+    let mut m = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let v = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+            m[(i, j)] = v;
+        }
+    }
+    c.bench_function("gemm_96", |b| b.iter(|| gemm(1.0, &m, &m, 0.0, None)));
+    c.bench_function("jacobi_eig_96", |b| b.iter(|| sym_eig(&m)));
+    c.bench_function("purify_96_nocc12", |b| b.iter(|| purify_canonical(&m, 12, 1e-10, 100)));
+}
+
+criterion_group! {
+    name = benches;
+    // Modest sampling: kernels here span 5 ns (Boys) to 50 ms (Fock build);
+    // 20 samples × 2 s windows keep the whole suite to a couple of minutes
+    // on one core without hurting the ±few-% resolution we need.
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_boys, bench_eri_classes, bench_screening, bench_fock_build, bench_linalg
+}
+criterion_main!(benches);

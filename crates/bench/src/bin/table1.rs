@@ -1,0 +1,26 @@
+//! Table I: machine parameters of one node of the (simulated) test
+//! machine — the Lonestar configuration the paper reports, as encoded in
+//! the simulator's machine model.
+
+use distrt::MachineParams;
+
+fn main() {
+    let m = MachineParams::lonestar();
+    println!("Table I: Machine parameters for each node of (simulated) Lonestar.");
+    println!("{:<34} {:>12}", "Component", "Value");
+    println!("{:<34} {:>12}", "CPU", "Intel X5680");
+    println!("{:<34} {:>12}", "Freq. (GHz)", "3.33");
+    println!("{:<34} {:>12}", "Sockets/Cores/Threads", "2/12/12");
+    println!("{:<34} {:>12}", "Cache L1/L2/L3 (KB)", "64/256/12288");
+    println!("{:<34} {:>12}", "GFlop/s (DP)", "160");
+    println!("{:<34} {:>12}", "Memory (GB)", "24");
+    println!();
+    println!("Simulator machine model derived from the above:");
+    println!("{:<34} {:>12}", "cores per node", m.cores_per_node);
+    println!("{:<34} {:>9.1} GB/s", "interconnect bandwidth", m.bandwidth / 1e9);
+    println!("{:<34} {:>9.1} µs", "one-sided latency (assumed)", m.latency * 1e6);
+    println!("{:<34} {:>9.1} µs", "atomic queue op (assumed)", m.atomic_op * 1e6);
+    println!();
+    println!("Note: bandwidth and core counts are the paper's Table I values; latency");
+    println!("and atomic-op costs are not published and use typical QDR InfiniBand figures.");
+}

@@ -1,0 +1,130 @@
+//! Shared support for the benchmark harness that regenerates every table
+//! and figure of the paper's evaluation (Section IV).
+//!
+//! Every harness binary accepts:
+//!
+//! * `--full` — use the paper's exact molecules (C96H24, C150H30, C100H202,
+//!   C144H290 with cc-pVDZ). Without it, proportionally scaled-down members
+//!   of the same families are used so a run finishes in minutes on one
+//!   core. The scaled molecules preserve the structural contrast (dense
+//!   2-D flakes vs screened 1-D chains) that drives every observable.
+//! * `--tau <v>` — screening tolerance (default 1e-10, the paper's value).
+
+use chem::molecule::Molecule;
+use chem::reorder::ShellOrdering;
+use chem::shells::BasisInstance;
+use chem::{generators, BasisSetKind};
+use eri::CostModel;
+use fock_core::tasks::FockProblem;
+
+/// A prepared workload: problem + calibrated cost model.
+pub struct Workload {
+    pub name: String,
+    pub prob: FockProblem,
+    pub cost: CostModel,
+}
+
+/// The paper's four Fock-construction test molecules (Table II), or their
+/// scaled-down counterparts.
+pub fn test_molecules(full: bool) -> Vec<Molecule> {
+    if full {
+        vec![
+            generators::graphene_flake(4),  // C96H24
+            generators::graphene_flake(5),  // C150H30
+            generators::linear_alkane(100), // C100H202
+            generators::linear_alkane(144), // C144H290
+        ]
+    } else {
+        vec![
+            generators::graphene_flake(2), // C24H12
+            generators::graphene_flake(3), // C54H18
+            generators::linear_alkane(20), // C20H42
+            generators::linear_alkane(30), // C30H62
+        ]
+    }
+}
+
+/// Prepare a workload: cell-reordered shells, screening at `tau`,
+/// calibrated cost model.
+pub fn prepare(molecule: Molecule, tau: f64) -> Workload {
+    let name = molecule.formula();
+    let basis = BasisInstance::new(molecule.clone(), BasisSetKind::CcPvdz)
+        .unwrap_or_else(|e| panic!("basis setup for {name}: {e}"));
+    let cost = CostModel::calibrate(&basis, 3);
+    let prob = FockProblem::new(molecule, BasisSetKind::CcPvdz, tau, ShellOrdering::cells_default())
+        .unwrap();
+    Workload { name, prob, cost }
+}
+
+/// Prepare all four test workloads.
+pub fn prepare_all(full: bool, tau: f64) -> Vec<Workload> {
+    test_molecules(full)
+        .into_iter()
+        .map(|m| {
+            eprintln!("preparing {} …", m.formula());
+            prepare(m, tau)
+        })
+        .collect()
+}
+
+/// The paper's core counts (Tables III–VIII). The centralized scheduler's
+/// saturation point sits in the paper's top decade (p ≈ 3000–4000), so the
+/// scaled default keeps the upper counts.
+pub fn core_counts(_full: bool) -> Vec<usize> {
+    vec![12, 48, 192, 768, 1728, 3888]
+}
+
+/// `--full` flag.
+pub fn flag_full() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// `--tau <v>` option (default 1e-10, the paper's tolerance).
+pub fn opt_tau() -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--tau")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1e-10)
+}
+
+/// Standard header naming the reproduction context.
+pub fn banner(what: &str, full: bool) {
+    println!("== {what} ==");
+    println!(
+        "molecules: {} | basis: cc-pVDZ | τ = {:.0e} | machine model: Lonestar (Table I)",
+        if full { "paper set (--full)" } else { "scaled-down set (pass --full for the paper's)" },
+        opt_tau()
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_molecules_preserve_families() {
+        let ms = test_molecules(false);
+        assert_eq!(ms.len(), 4);
+        // Two flakes (planar) and two alkanes (chains).
+        assert!(ms[0].formula().starts_with('C'));
+        assert_eq!(ms[0].formula(), "C24H12");
+        assert_eq!(ms[3].formula(), "C30H62");
+    }
+
+    #[test]
+    fn full_molecules_match_table2() {
+        let names: Vec<String> = test_molecules(true).iter().map(|m| m.formula()).collect();
+        assert_eq!(names, ["C96H24", "C150H30", "C100H202", "C144H290"]);
+    }
+
+    #[test]
+    fn prepare_small_workload() {
+        let w = prepare(generators::graphene_flake(1), 1e-10);
+        assert_eq!(w.name, "C6H6");
+        assert!(w.prob.nshells() > 0);
+        assert!(w.cost.t_int > 0.0);
+    }
+}

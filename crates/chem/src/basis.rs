@@ -1,0 +1,344 @@
+//! Gaussian basis-set data.
+//!
+//! A basis set maps an element to a list of contracted shells; instantiating
+//! a basis on a molecule (see [`crate::shells`]) produces the shell list the
+//! integral engine consumes. Shell data (exponents, contraction
+//! coefficients) follows the standard published values (EMSL Basis Set
+//! Exchange). SP (L=0/1 fused) shells in STO-3G are split into separate S
+//! and P shells, the usual convention in integral codes.
+
+/// Raw (unnormalized) contracted shell as published in basis-set tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShellSpec {
+    /// Angular momentum: 0 = s, 1 = p, 2 = d.
+    pub l: u8,
+    /// Primitive Gaussian exponents.
+    pub exps: Vec<f64>,
+    /// Contraction coefficients (same length as `exps`).
+    pub coefs: Vec<f64>,
+}
+
+impl ShellSpec {
+    pub fn new(l: u8, exps: &[f64], coefs: &[f64]) -> Self {
+        assert_eq!(exps.len(), coefs.len(), "exps/coefs length mismatch");
+        assert!(!exps.is_empty(), "empty shell");
+        ShellSpec { l, exps: exps.to_vec(), coefs: coefs.to_vec() }
+    }
+
+    /// Number of spherical basis functions carried by this shell
+    /// (1 for s, 3 for p, 2l+1 in general).
+    pub fn nfuncs(&self) -> usize {
+        2 * self.l as usize + 1
+    }
+
+    /// Number of Cartesian components ( (l+1)(l+2)/2 ).
+    pub fn ncart(&self) -> usize {
+        let l = self.l as usize;
+        (l + 1) * (l + 2) / 2
+    }
+}
+
+/// The basis sets this workspace embeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BasisSetKind {
+    /// Minimal STO-3G (H, He, C, N, O supported).
+    Sto3g,
+    /// Pople split-valence 6-31G (H, C, N, O supported).
+    SixThirtyOneG,
+    /// Dunning cc-pVDZ (H, C, N, O supported; the paper's molecules are
+    /// CH-only, N/O enable the extra validation molecules).
+    CcPvdz,
+}
+
+impl BasisSetKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            BasisSetKind::Sto3g => "STO-3G",
+            BasisSetKind::SixThirtyOneG => "6-31G",
+            BasisSetKind::CcPvdz => "cc-pVDZ",
+        }
+    }
+
+    /// The contracted shells this basis places on element `z`, or an error
+    /// naming the unsupported element.
+    pub fn shells_for(self, z: u32) -> Result<Vec<ShellSpec>, String> {
+        let data = match self {
+            BasisSetKind::Sto3g => sto3g(z),
+            BasisSetKind::SixThirtyOneG => six31g(z),
+            BasisSetKind::CcPvdz => ccpvdz(z),
+        };
+        data.ok_or_else(|| {
+            format!(
+                "basis {} has no data for element Z={z} ({})",
+                self.name(),
+                crate::element::symbol(z).unwrap_or("?")
+            )
+        })
+    }
+}
+
+/// STO-3G: each atomic orbital is a fixed 3-Gaussian contraction. The
+/// contraction coefficients are shared across the second row; only the
+/// exponents are element-scaled.
+fn sto3g(z: u32) -> Option<Vec<ShellSpec>> {
+    const S1: [f64; 3] = [0.154_328_967_3, 0.535_328_142_3, 0.444_634_542_2];
+    const S2: [f64; 3] = [-0.099_967_229_19, 0.399_512_826_1, 0.700_115_468_9];
+    const P2: [f64; 3] = [0.155_916_275_0, 0.607_683_718_6, 0.391_957_393_1];
+    Some(match z {
+        1 => vec![ShellSpec::new(0, &[3.425_250_914, 0.623_913_729_8, 0.168_855_404_0], &S1)],
+        2 => vec![ShellSpec::new(0, &[6.362_421_394, 1.158_922_999, 0.313_649_791_5], &S1)],
+        6 => vec![
+            ShellSpec::new(0, &[71.616_837_35, 13.045_096_32, 3.530_512_160], &S1),
+            ShellSpec::new(0, &[2.941_249_355, 0.683_483_096_4, 0.222_289_915_9], &S2),
+            ShellSpec::new(1, &[2.941_249_355, 0.683_483_096_4, 0.222_289_915_9], &P2),
+        ],
+        7 => vec![
+            ShellSpec::new(0, &[99.106_168_96, 18.052_312_39, 4.885_660_238], &S1),
+            ShellSpec::new(0, &[3.780_455_879, 0.878_496_644_9, 0.285_714_374_4], &S2),
+            ShellSpec::new(1, &[3.780_455_879, 0.878_496_644_9, 0.285_714_374_4], &P2),
+        ],
+        8 => vec![
+            ShellSpec::new(0, &[130.709_321_4, 23.808_866_05, 6.443_608_313], &S1),
+            ShellSpec::new(0, &[5.033_151_319, 1.169_596_125, 0.380_388_960_0], &S2),
+            ShellSpec::new(1, &[5.033_151_319, 1.169_596_125, 0.380_388_960_0], &P2),
+        ],
+        _ => return None,
+    })
+}
+
+/// Pople 6-31G: inner shell one 6-Gaussian contraction, valence split
+/// into a 3-Gaussian contraction plus a single diffuse primitive.
+fn six31g(z: u32) -> Option<Vec<ShellSpec>> {
+    Some(match z {
+        1 => vec![
+            ShellSpec::new(
+                0,
+                &[18.731_137, 2.825_394_37, 0.640_121_692],
+                &[0.033_494_604_338, 0.234_726_953_8, 0.813_757_326_1],
+            ),
+            ShellSpec::new(0, &[0.161_277_759], &[1.0]),
+        ],
+        6 => vec![
+            ShellSpec::new(
+                0,
+                &[3_047.524_88, 457.369_518, 103.948_685, 29.210_155_3, 9.286_662_96, 3.163_926_96],
+                &[0.001_834_7, 0.014_037_3, 0.068_842_6, 0.232_184_4, 0.467_941_3, 0.362_312],
+            ),
+            ShellSpec::new(
+                0,
+                &[7.868_272_35, 1.881_288_54, 0.544_249_258],
+                &[-0.119_332_4, -0.160_854_2, 1.143_456_4],
+            ),
+            ShellSpec::new(
+                1,
+                &[7.868_272_35, 1.881_288_54, 0.544_249_258],
+                &[0.068_999_1, 0.316_424, 0.744_308_3],
+            ),
+            ShellSpec::new(0, &[0.168_714_478], &[1.0]),
+            ShellSpec::new(1, &[0.168_714_478], &[1.0]),
+        ],
+        7 => vec![
+            ShellSpec::new(
+                0,
+                &[4_173.511_46, 627.457_911, 142.902_093, 40.234_329_3, 12.820_212_9, 4.390_437_01],
+                &[0.001_834_8, 0.013_995, 0.068_587, 0.232_241, 0.469_070, 0.360_455],
+            ),
+            ShellSpec::new(
+                0,
+                &[11.626_361_86, 2.716_279_807, 0.772_218_397_5],
+                &[-0.114_961_2, -0.169_117_5, 1.145_851_6],
+            ),
+            ShellSpec::new(
+                1,
+                &[11.626_361_86, 2.716_279_807, 0.772_218_397_5],
+                &[0.067_580, 0.323_907, 0.740_895],
+            ),
+            ShellSpec::new(0, &[0.212_031_495_3], &[1.0]),
+            ShellSpec::new(1, &[0.212_031_495_3], &[1.0]),
+        ],
+        8 => vec![
+            ShellSpec::new(
+                0,
+                &[5_484.671_66, 825.234_946, 188.046_958, 52.964_500_0, 16.897_570_4, 5.799_635_34],
+                &[0.001_831_1, 0.013_950_1, 0.068_445_1, 0.232_714_3, 0.470_193, 0.358_520_9],
+            ),
+            ShellSpec::new(
+                0,
+                &[15.539_616_25, 3.599_933_586, 1.013_761_750],
+                &[-0.110_777_5, -0.148_026_3, 1.130_767_0],
+            ),
+            ShellSpec::new(
+                1,
+                &[15.539_616_25, 3.599_933_586, 1.013_761_750],
+                &[0.070_874_3, 0.339_752_8, 0.727_158_6],
+            ),
+            ShellSpec::new(0, &[0.270_005_823_1], &[1.0]),
+            ShellSpec::new(1, &[0.270_005_823_1], &[1.0]),
+        ],
+        _ => return None,
+    })
+}
+
+/// Dunning cc-pVDZ. H: (4s,1p)→[2s,1p]; C: (9s,4p,1d)→[3s,2p,1d].
+/// Shell/function counts per atom: H = 3 shells / 5 functions,
+/// C = 6 shells / 14 functions — matching the paper's Table II
+/// (e.g. C100H202 → 1206 shells, 2410 functions).
+fn ccpvdz(z: u32) -> Option<Vec<ShellSpec>> {
+    Some(match z {
+        1 => vec![
+            ShellSpec::new(
+                0,
+                &[13.010, 1.962, 0.444_6, 0.122],
+                &[0.019_685, 0.137_977, 0.478_148, 0.501_240],
+            ),
+            ShellSpec::new(0, &[0.122], &[1.0]),
+            ShellSpec::new(1, &[0.727], &[1.0]),
+        ],
+        6 => vec![
+            ShellSpec::new(
+                0,
+                &[6665.0, 1000.0, 228.0, 64.71, 21.06, 6.459, 2.343, 0.7052, 0.1596],
+                &[
+                    0.000_692, 0.005_329, 0.027_077, 0.101_718, 0.274_740, 0.448_564, 0.285_074,
+                    0.015_204, -0.003_191,
+                ],
+            ),
+            ShellSpec::new(
+                0,
+                &[6665.0, 1000.0, 228.0, 64.71, 21.06, 6.459, 2.343, 0.7052, 0.1596],
+                &[
+                    -0.000_146, -0.001_154, -0.005_725, -0.023_312, -0.063_955, -0.149_981,
+                    -0.127_262, 0.544_529, 0.580_496,
+                ],
+            ),
+            ShellSpec::new(0, &[0.1596], &[1.0]),
+            ShellSpec::new(
+                1,
+                &[9.439, 2.002, 0.545_6, 0.151_7],
+                &[0.038_109, 0.209_480, 0.508_557, 0.468_842],
+            ),
+            ShellSpec::new(1, &[0.1517], &[1.0]),
+            ShellSpec::new(2, &[0.55], &[1.0]),
+        ],
+        7 => vec![
+            ShellSpec::new(
+                0,
+                &[9046.0, 1357.0, 309.3, 87.73, 28.56, 10.21, 3.838, 1.179, 0.2747],
+                &[
+                    0.000_700, 0.005_389, 0.027_406, 0.103_207, 0.278_723, 0.448_540, 0.278_238,
+                    0.015_440, -0.002_864,
+                ],
+            ),
+            ShellSpec::new(
+                0,
+                &[9046.0, 1357.0, 309.3, 87.73, 28.56, 10.21, 3.838, 1.179, 0.2747],
+                &[
+                    -0.000_153, -0.001_208, -0.005_992, -0.024_544, -0.067_459, -0.158_078,
+                    -0.121_831, 0.549_003, 0.578_815,
+                ],
+            ),
+            ShellSpec::new(0, &[0.2747], &[1.0]),
+            ShellSpec::new(
+                1,
+                &[13.55, 2.917, 0.797_3, 0.218_5],
+                &[0.039_919, 0.217_169, 0.510_319, 0.462_214],
+            ),
+            ShellSpec::new(1, &[0.2185], &[1.0]),
+            ShellSpec::new(2, &[0.817], &[1.0]),
+        ],
+        8 => vec![
+            ShellSpec::new(
+                0,
+                &[11720.0, 1759.0, 400.8, 113.7, 37.03, 13.27, 5.025, 1.013, 0.3023],
+                &[
+                    0.000_710, 0.005_470, 0.027_837, 0.104_800, 0.283_062, 0.448_719, 0.270_952,
+                    0.015_458, -0.002_585,
+                ],
+            ),
+            ShellSpec::new(
+                0,
+                &[11720.0, 1759.0, 400.8, 113.7, 37.03, 13.27, 5.025, 1.013, 0.3023],
+                &[
+                    -0.000_160, -0.001_263, -0.006_267, -0.025_716, -0.070_924, -0.165_411,
+                    -0.116_955, 0.557_368, 0.572_759,
+                ],
+            ),
+            ShellSpec::new(0, &[0.3023], &[1.0]),
+            ShellSpec::new(
+                1,
+                &[17.70, 3.854, 1.046, 0.275_3],
+                &[0.043_018, 0.228_913, 0.508_728, 0.460_531],
+            ),
+            ShellSpec::new(1, &[0.2753], &[1.0]),
+            ShellSpec::new(2, &[1.185], &[1.0]),
+        ],
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sto3g_shell_counts() {
+        assert_eq!(BasisSetKind::Sto3g.shells_for(1).unwrap().len(), 1);
+        assert_eq!(BasisSetKind::Sto3g.shells_for(6).unwrap().len(), 3);
+        assert_eq!(BasisSetKind::Sto3g.shells_for(8).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn ccpvdz_counts_match_paper_table2() {
+        let h: usize = BasisSetKind::CcPvdz.shells_for(1).unwrap().iter().map(|s| s.nfuncs()).sum();
+        let c: usize = BasisSetKind::CcPvdz.shells_for(6).unwrap().iter().map(|s| s.nfuncs()).sum();
+        assert_eq!(h, 5);
+        assert_eq!(c, 14);
+        assert_eq!(BasisSetKind::CcPvdz.shells_for(1).unwrap().len(), 3);
+        assert_eq!(BasisSetKind::CcPvdz.shells_for(6).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn unsupported_element_is_an_error() {
+        assert!(BasisSetKind::CcPvdz.shells_for(2).is_err());
+        assert!(BasisSetKind::Sto3g.shells_for(26).is_err());
+        assert!(BasisSetKind::SixThirtyOneG.shells_for(3).is_err());
+    }
+
+    #[test]
+    fn six31g_shell_structure() {
+        // H: [2s]; heavy atoms: [3s,2p].
+        let h = BasisSetKind::SixThirtyOneG.shells_for(1).unwrap();
+        assert_eq!(h.len(), 2);
+        assert!(h.iter().all(|s| s.l == 0));
+        for z in [6u32, 7, 8] {
+            let sh = BasisSetKind::SixThirtyOneG.shells_for(z).unwrap();
+            assert_eq!(sh.iter().filter(|s| s.l == 0).count(), 3, "Z={z}");
+            assert_eq!(sh.iter().filter(|s| s.l == 1).count(), 2, "Z={z}");
+            let f: usize = sh.iter().map(|s| s.nfuncs()).sum();
+            assert_eq!(f, 9, "Z={z}"); // 3s + 2p
+        }
+    }
+
+    #[test]
+    fn ccpvdz_n_and_o_structure() {
+        for z in [7u32, 8] {
+            let sh = BasisSetKind::CcPvdz.shells_for(z).unwrap();
+            assert_eq!(sh.len(), 6, "Z={z}");
+            let f: usize = sh.iter().map(|s| s.nfuncs()).sum();
+            assert_eq!(f, 14, "Z={z}"); // 3s + 2·3p + 5d
+        }
+    }
+
+    #[test]
+    fn cartesian_counts() {
+        assert_eq!(ShellSpec::new(0, &[1.0], &[1.0]).ncart(), 1);
+        assert_eq!(ShellSpec::new(1, &[1.0], &[1.0]).ncart(), 3);
+        assert_eq!(ShellSpec::new(2, &[1.0], &[1.0]).ncart(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        ShellSpec::new(0, &[1.0, 2.0], &[1.0]);
+    }
+}

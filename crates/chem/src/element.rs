@@ -1,0 +1,55 @@
+//! Element symbols and atomic numbers for the elements this reproduction
+//! needs (the paper's molecules contain only C and H; N/O/He appear in tests
+//! and examples).
+
+/// Symbols indexed by atomic number (index 0 unused).
+const SYMBOLS: [&str; 11] = ["?", "H", "He", "Li", "Be", "B", "C", "N", "O", "F", "Ne"];
+
+/// The symbol for atomic number `z`, or `None` if out of the supported range.
+pub fn symbol(z: u32) -> Option<&'static str> {
+    SYMBOLS.get(z as usize).copied().filter(|s| *s != "?")
+}
+
+/// The atomic number for a (case-insensitive) element symbol.
+pub fn atomic_number(sym: &str) -> Option<u32> {
+    let norm = sym.trim();
+    SYMBOLS
+        .iter()
+        .position(|s| s.eq_ignore_ascii_case(norm))
+        .filter(|&i| i != 0)
+        .map(|i| i as u32)
+}
+
+/// Atomic numbers used throughout the workspace.
+pub const H: u32 = 1;
+pub const HE: u32 = 2;
+pub const C: u32 = 6;
+pub const N: u32 = 7;
+pub const O: u32 = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_symbols() {
+        for z in 1..=10 {
+            let s = symbol(z).unwrap();
+            assert_eq!(atomic_number(s), Some(z));
+        }
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        assert_eq!(atomic_number("he"), Some(2));
+        assert_eq!(atomic_number("C"), Some(6));
+        assert_eq!(atomic_number(" o "), Some(8));
+    }
+
+    #[test]
+    fn unknown_symbols() {
+        assert_eq!(atomic_number("Xx"), None);
+        assert_eq!(symbol(0), None);
+        assert_eq!(symbol(99), None);
+    }
+}

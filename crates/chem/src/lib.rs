@@ -1,0 +1,37 @@
+//! Molecular structure substrate for the GTFock reproduction.
+//!
+//! This crate provides everything "upstream" of integral evaluation:
+//!
+//! * [`geom`] — minimal 3-vector geometry in atomic units,
+//! * [`element`] — element symbols and atomic numbers,
+//! * [`molecule`] — molecules as collections of nuclei,
+//! * [`generators`] — the paper's test-molecule families (hexagonal graphene
+//!   flakes `C_{6n²}H_{6n}` and linear alkanes `C_nH_{2n+2}`) plus small
+//!   reference molecules,
+//! * [`basis`] — Gaussian basis-set data (STO-3G, cc-pVDZ),
+//! * [`shells`] — a basis set instantiated on a molecule: the shell list that
+//!   every other crate works with,
+//! * [`reorder`] — the spatial cell-based shell reordering of Section III-D
+//!   of the paper.
+
+pub mod basis;
+pub mod element;
+pub mod generators;
+pub mod geom;
+pub mod molecule;
+pub mod reorder;
+pub mod shells;
+
+pub use basis::BasisSetKind;
+pub use geom::Vec3;
+pub use molecule::{Atom, Molecule};
+pub use shells::{BasisInstance, Shell};
+
+/// One bohr in angstrom (CODATA).
+pub const BOHR_PER_ANGSTROM: f64 = 1.0 / 0.529_177_210_67;
+
+/// Convert a length in angstrom to bohr (atomic units).
+#[inline]
+pub fn angstrom_to_bohr(x: f64) -> f64 {
+    x * BOHR_PER_ANGSTROM
+}

@@ -1,0 +1,316 @@
+//! The paper's algorithm, executed on real threads (Algorithm 4).
+//!
+//! One thread plays one process of the virtual grid. Each process:
+//!
+//! 1. populates its task queue from the static partition,
+//! 2. prefetches all D blocks its tasks need into a local buffer,
+//! 3. drains its queue, computing quartets into a local F buffer,
+//! 4. when empty, steals blocks of tasks from other processes' queues
+//!    (scanning ranks row-wise, Section III-F), fetching the victim's D
+//!    region and accumulating into a per-victim F buffer,
+//! 5. flushes every local F buffer into the distributed F.
+//!
+//! The result is *identical* (to floating-point reordering) to the
+//! sequential reference for any grid shape and any stealing schedule —
+//! the correctness tests exercise exactly that.
+
+use crate::localbuf::{LocalBuffers, LocalSink, ShellDims};
+use crate::partition::StaticPartition;
+use crate::sink::do_task;
+use crate::tasks::FockProblem;
+use crossbeam_deque::{Steal, Stealer, Worker};
+use distrt::{CommStats, GlobalArray, ProcessGrid};
+use eri::EriEngine;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Configuration of a threaded GTFock build.
+#[derive(Debug, Clone, Copy)]
+pub struct GtfockConfig {
+    /// Virtual process grid (one thread per process).
+    pub grid: ProcessGrid,
+    /// Enable the work-stealing scheduler (disable for the ablation).
+    pub steal: bool,
+}
+
+impl Default for GtfockConfig {
+    fn default() -> Self {
+        GtfockConfig { grid: ProcessGrid::new(1, 1), steal: true }
+    }
+}
+
+/// Per-process measurements of one build.
+#[derive(Debug, Clone)]
+pub struct GtfockReport {
+    /// Wall time of each process's task loop (T_fock).
+    pub t_fock: Vec<f64>,
+    /// Time each process spent computing quartets + updates (T_comp).
+    pub t_comp: Vec<f64>,
+    /// Quartets each process computed.
+    pub quartets: Vec<u64>,
+    /// Successful steal operations per process.
+    pub steals: Vec<u64>,
+    /// Distinct victims per process (the model's `s`).
+    pub victims: Vec<u64>,
+    /// Per-process communication (D gets + F accs).
+    pub comm: Vec<CommStats>,
+}
+
+impl GtfockReport {
+    /// Load balance ratio l = T_fock,max / T_fock,avg (Table VIII).
+    pub fn load_balance(&self) -> f64 {
+        let max = self.t_fock.iter().copied().fold(0.0, f64::max);
+        let avg = self.t_fock.iter().sum::<f64>() / self.t_fock.len() as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
+    }
+
+    /// Average parallel overhead T_ov = T_fock − T_comp (Figure 2).
+    pub fn t_ov_avg(&self) -> f64 {
+        self.t_fock
+            .iter()
+            .zip(&self.t_comp)
+            .map(|(f, c)| (f - c).max(0.0))
+            .sum::<f64>()
+            / self.t_fock.len() as f64
+    }
+
+    pub fn total_quartets(&self) -> u64 {
+        self.quartets.iter().sum()
+    }
+}
+
+/// Build G(D) = 2J − K with the GTFock algorithm. `d_dense` is the
+/// (symmetric) density matrix in the problem's shell ordering; the dense
+/// G and the per-process report are returned.
+pub fn build_fock_gtfock(
+    prob: &FockProblem,
+    d_dense: &[f64],
+    cfg: GtfockConfig,
+) -> (Vec<f64>, GtfockReport) {
+    let nbf = prob.nbf();
+    assert_eq!(d_dense.len(), nbf * nbf);
+    let nprocs = cfg.grid.nprocs();
+    let part = StaticPartition::new(cfg.grid, prob.nshells());
+    let dims = ShellDims::new(prob);
+
+    let ga_d = GlobalArray::from_dense(cfg.grid, nbf, nbf, d_dense);
+    let ga_f = GlobalArray::zeros(cfg.grid, nbf, nbf);
+
+    // Task deques: one per process, pre-populated from the static partition.
+    let workers: Vec<Worker<(u32, u32)>> = (0..nprocs).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<(u32, u32)>> = workers.iter().map(|w| w.stealer()).collect();
+    for (rank, w) in workers.iter().enumerate() {
+        for (m, n) in part.tasks_of(rank) {
+            w.push((m as u32, n as u32));
+        }
+    }
+
+    struct ThreadOut {
+        rank: usize,
+        t_fock: f64,
+        t_comp: f64,
+        quartets: u64,
+        steals: u64,
+        victims: u64,
+    }
+
+    let outs: Vec<ThreadOut> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (rank, worker) in workers.into_iter().enumerate() {
+            let stealers = &stealers;
+            let ga_d = &ga_d;
+            let ga_f = &ga_f;
+            let dims = &dims;
+            let part = &part;
+            handles.push(scope.spawn(move || {
+                let start = Instant::now();
+                let mut comp = 0.0f64;
+                let mut quartets = 0u64;
+                let mut steals = 0u64;
+                let mut eng = EriEngine::new();
+                let mut scratch = Vec::new();
+
+                // Buffers keyed by the rank whose region they cover.
+                let mut bufs: HashMap<usize, LocalBuffers> = HashMap::new();
+                let mut own = LocalBuffers::for_process(prob, part, rank);
+                own.fetch_d(prob, ga_d, rank);
+                bufs.insert(rank, own);
+
+                loop {
+                    let task = match worker.pop() {
+                        Some(t) => Some(t),
+                        None if cfg.steal => {
+                            // Row-wise victim scan (Section III-F).
+                            let mut got = None;
+                            for v in cfg.grid.steal_order(rank) {
+                                match stealers[v].steal_batch_and_pop(&worker) {
+                                    Steal::Success(t) => {
+                                        steals += 1;
+                                        got = Some(t);
+                                        break;
+                                    }
+                                    Steal::Empty | Steal::Retry => continue,
+                                }
+                            }
+                            got
+                        }
+                        None => None,
+                    };
+                    let Some((m, n)) = task else { break };
+                    let (m, n) = (m as usize, n as usize);
+                    let owner = part.owner_of_task(m, n);
+                    let buf = bufs.entry(owner).or_insert_with(|| {
+                        let mut b = LocalBuffers::for_process(prob, part, owner);
+                        b.fetch_d(prob, ga_d, rank);
+                        b
+                    });
+                    let t0 = Instant::now();
+                    let mut sink = LocalSink { buf, dims };
+                    quartets += do_task(&mut sink, prob, &mut eng, &mut scratch, m, n);
+                    comp += t0.elapsed().as_secs_f64();
+                }
+
+                let victims = bufs.len() as u64 - 1;
+                for (_, buf) in bufs {
+                    buf.flush_f(prob, ga_f, rank);
+                }
+                ThreadOut {
+                    rank,
+                    t_fock: start.elapsed().as_secs_f64(),
+                    t_comp: comp,
+                    quartets,
+                    steals,
+                    victims,
+                }
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+    });
+
+    let mut report = GtfockReport {
+        t_fock: vec![0.0; nprocs],
+        t_comp: vec![0.0; nprocs],
+        quartets: vec![0; nprocs],
+        steals: vec![0; nprocs],
+        victims: vec![0; nprocs],
+        comm: vec![CommStats::default(); nprocs],
+    };
+    for o in outs {
+        report.t_fock[o.rank] = o.t_fock;
+        report.t_comp[o.rank] = o.t_comp;
+        report.quartets[o.rank] = o.quartets;
+        report.steals[o.rank] = o.steals;
+        report.victims[o.rank] = o.victims;
+        let mut c = ga_d.stats(o.rank);
+        c.merge(&ga_f.stats(o.rank));
+        report.comm[o.rank] = c;
+    }
+    (ga_f.to_dense(), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::build_g_seq;
+    use chem::generators;
+    use chem::reorder::ShellOrdering;
+    use chem::BasisSetKind;
+
+    fn problem(ordering: ShellOrdering) -> FockProblem {
+        FockProblem::new(generators::water(), BasisSetKind::Sto3g, 1e-12, ordering).unwrap()
+    }
+
+    fn density(nbf: usize) -> Vec<f64> {
+        let mut d = vec![0.0; nbf * nbf];
+        for i in 0..nbf {
+            for j in 0..nbf {
+                let v = 0.3 / (1.0 + (i as f64 - j as f64).abs());
+                d[i * nbf + j] = v;
+            }
+        }
+        d
+    }
+
+    fn max_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_sequential_on_1x1() {
+        let prob = problem(ShellOrdering::Natural);
+        let d = density(prob.nbf());
+        let (want, wq) = build_g_seq(&prob, &d);
+        let (got, rep) = build_fock_gtfock(&prob, &d, GtfockConfig::default());
+        assert_eq!(rep.total_quartets(), wq);
+        assert!(max_diff(&want, &got) < 1e-11, "diff {}", max_diff(&want, &got));
+    }
+
+    #[test]
+    fn matches_sequential_on_grids() {
+        let prob = problem(ShellOrdering::cells_default());
+        let d = density(prob.nbf());
+        let (want, wq) = build_g_seq(&prob, &d);
+        for grid in [ProcessGrid::new(2, 2), ProcessGrid::new(1, 3), ProcessGrid::new(3, 2)] {
+            let (got, rep) = build_fock_gtfock(&prob, &d, GtfockConfig { grid, steal: true });
+            assert_eq!(rep.total_quartets(), wq, "grid {grid:?}");
+            assert!(
+                max_diff(&want, &got) < 1e-11,
+                "grid {grid:?}: diff {}",
+                max_diff(&want, &got)
+            );
+        }
+    }
+
+    #[test]
+    fn stealing_off_still_correct() {
+        let prob = problem(ShellOrdering::Natural);
+        let d = density(prob.nbf());
+        let (want, _) = build_g_seq(&prob, &d);
+        let (got, rep) = build_fock_gtfock(
+            &prob,
+            &d,
+            GtfockConfig { grid: ProcessGrid::new(2, 2), steal: false },
+        );
+        assert!(rep.steals.iter().all(|&s| s == 0));
+        assert!(max_diff(&want, &got) < 1e-11);
+    }
+
+    #[test]
+    fn larger_molecule_with_d_shells() {
+        // Methane/cc-pVDZ has d shells; 2x2 grid with stealing.
+        let prob = FockProblem::new(
+            generators::methane(),
+            BasisSetKind::CcPvdz,
+            1e-11,
+            ShellOrdering::cells_default(),
+        )
+        .unwrap();
+        let d = density(prob.nbf());
+        let (want, _) = build_g_seq(&prob, &d);
+        let (got, _) = build_fock_gtfock(
+            &prob,
+            &d,
+            GtfockConfig { grid: ProcessGrid::new(2, 2), steal: true },
+        );
+        assert!(max_diff(&want, &got) < 1e-10, "diff {}", max_diff(&want, &got));
+    }
+
+    #[test]
+    fn report_shapes_and_comm() {
+        let prob = problem(ShellOrdering::Natural);
+        let d = density(prob.nbf());
+        let grid = ProcessGrid::new(2, 2);
+        let (_, rep) = build_fock_gtfock(&prob, &d, GtfockConfig { grid, steal: true });
+        assert_eq!(rep.t_fock.len(), 4);
+        assert!(rep.load_balance() >= 1.0);
+        // Everyone prefetched D and flushed F → nonzero comm.
+        for c in &rep.comm {
+            assert!(c.total_calls() > 0);
+            assert!(c.total_bytes() > 0);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! GTFock reproduction: scalable parallel Fock matrix construction.
+//!
+//! This crate implements the paper's contribution and its baseline:
+//!
+//! * [`tasks`] — the `(M,:|N,:)` task model, significant sets Φ(M), and the
+//!   symmetry predicate that makes every unique shell quartet computed
+//!   exactly once (Section III-B, Algorithm 3),
+//! * [`sink`] — quartet → Fock-matrix update machinery shared by every
+//!   build variant,
+//! * [`partition`] — the initial static 2-D partitioning of the task space
+//!   (Section III-C),
+//! * [`localbuf`] — prefetched per-process D/F buffers (Section III-E),
+//! * [`seq`] — sequential reference builds (ground truth for tests),
+//! * [`gtfock`] — the paper's algorithm on threads: static partition +
+//!   prefetch + work-stealing scheduler (Algorithms 3 and 4),
+//! * [`nwchem`] — the NWChem-style baseline: block-row distribution,
+//!   5-atom-quartet tasks, centralized dynamic scheduler (Algorithm 2),
+//! * [`scf`] — the Hartree-Fock SCF driver (Algorithm 1) with
+//!   diagonalization or purification,
+//! * [`model`] — the performance model of Section III-G (equations 6–12),
+//! * [`sim_exec`] — discrete-event cluster-scale execution of both
+//!   algorithms, producing the timing/communication/load-balance data of
+//!   Tables III–VIII and Figure 2.
+
+pub mod diis;
+pub mod gtfock;
+pub mod localbuf;
+pub mod model;
+pub mod naive;
+pub mod nwchem;
+pub mod partition;
+pub mod scf;
+pub mod seq;
+pub mod sim_exec;
+pub mod sink;
+pub mod tasks;
+
+pub use gtfock::{build_fock_gtfock, GtfockConfig, GtfockReport};
+pub use nwchem::{build_fock_nwchem, NwchemConfig, NwchemReport};
+pub use scf::{ScfConfig, ScfResult};
+pub use tasks::FockProblem;

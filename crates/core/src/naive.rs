@@ -1,0 +1,263 @@
+//! A deliberately naive distributed Fock build: the paper's task model
+//! *without* the paper's communication optimizations.
+//!
+//! Tasks, screening, and symmetry handling are identical to
+//! [`crate::gtfock`], but every quartet fetches its six D shell-blocks
+//! through one-sided `get`s and accumulates its F shell-blocks through
+//! one-sided `acc`s directly against the distributed arrays — no prefetch,
+//! no local accumulation, no bulk flush. This is the strawman Section I
+//! alludes to ("fine-grained tasks … require less communication [only]
+//! with data reuse"); comparing its GA accounting against GTFock's
+//! quantifies exactly what the prefetched buffers buy.
+
+use crate::partition::StaticPartition;
+use crate::sink::{apply_quartet, FockSink};
+use crate::tasks::FockProblem;
+use distrt::{CommStats, GlobalArray, ProcessGrid};
+use eri::EriEngine;
+use std::time::Instant;
+
+/// Per-process measurements of one naive build.
+#[derive(Debug, Clone)]
+pub struct NaiveReport {
+    pub t_fock: Vec<f64>,
+    pub quartets: Vec<u64>,
+    pub comm: Vec<CommStats>,
+}
+
+impl NaiveReport {
+    pub fn total_quartets(&self) -> u64 {
+        self.quartets.iter().sum()
+    }
+}
+
+/// A sink that reads D and accumulates F directly through the GA layer,
+/// one shell-block access per quartet-block touch (cached only within a
+/// single quartet application).
+struct GaSink<'a> {
+    d: &'a GlobalArray,
+    f: &'a GlobalArray,
+    rank: usize,
+    prob: &'a FockProblem,
+    shell_of_bf: &'a [usize],
+    /// Per-quartet cache of fetched D blocks / pending F updates,
+    /// keyed by ordered shell pair. Flushed after every quartet.
+    dcache: Vec<((u32, u32), Vec<f64>)>,
+    fcache: Vec<((u32, u32), Vec<f64>)>,
+}
+
+impl GaSink<'_> {
+    fn block_dims(&self, sa: usize, sb: usize) -> (usize, usize, usize, usize) {
+        let a = &self.prob.basis.shells[sa];
+        let b = &self.prob.basis.shells[sb];
+        (a.bf_offset, b.bf_offset, a.nfuncs(), b.nfuncs())
+    }
+
+    fn fetch_d_block(&mut self, sa: usize, sb: usize) -> usize {
+        if let Some(i) = self.dcache.iter().position(|(k, _)| *k == (sa as u32, sb as u32)) {
+            return i;
+        }
+        let (oa, ob, na, nb) = self.block_dims(sa, sb);
+        let mut buf = vec![0.0; na * nb];
+        self.d.get(self.rank, oa..oa + na, ob..ob + nb, &mut buf);
+        self.dcache.push(((sa as u32, sb as u32), buf));
+        self.dcache.len() - 1
+    }
+
+    fn f_block_mut(&mut self, sa: usize, sb: usize) -> usize {
+        if let Some(i) = self.fcache.iter().position(|(k, _)| *k == (sa as u32, sb as u32)) {
+            return i;
+        }
+        let (_, _, na, nb) = self.block_dims(sa, sb);
+        self.fcache.push(((sa as u32, sb as u32), vec![0.0; na * nb]));
+        self.fcache.len() - 1
+    }
+
+    /// Push pending F updates (½ + ½ᵀ, see `localbuf`) and clear caches.
+    fn flush(&mut self) {
+        let fcache = std::mem::take(&mut self.fcache);
+        let mut tbuf: Vec<f64> = Vec::new();
+        for ((sa, sb), blk) in &fcache {
+            let (oa, ob, na, nb) = self.block_dims(*sa as usize, *sb as usize);
+            tbuf.clear();
+            tbuf.extend(blk.iter().map(|&v| 0.5 * v));
+            self.f.acc(self.rank, oa..oa + na, ob..ob + nb, &tbuf, 1.0);
+            tbuf.clear();
+            tbuf.resize(na * nb, 0.0);
+            for i in 0..na {
+                for j in 0..nb {
+                    tbuf[j * na + i] = 0.5 * blk[i * nb + j];
+                }
+            }
+            self.f.acc(self.rank, ob..ob + nb, oa..oa + na, &tbuf, 1.0);
+        }
+        self.dcache.clear();
+    }
+}
+
+impl FockSink for GaSink<'_> {
+    fn d(&self, i: usize, j: usize) -> f64 {
+        // The cache is warmed by `apply` before reads (see do_naive_task);
+        // transpose fallback uses D's symmetry.
+        let (si, sj) = (self.shell_of_bf[i], self.shell_of_bf[j]);
+        if let Some((_, buf)) = self.dcache.iter().find(|(k, _)| *k == (si as u32, sj as u32)) {
+            let (oa, ob, _, nb) = self.block_dims(si, sj);
+            return buf[(i - oa) * nb + (j - ob)];
+        }
+        let (_, buf) = self
+            .dcache
+            .iter()
+            .find(|(k, _)| *k == (sj as u32, si as u32))
+            .expect("D block not fetched");
+        let (oa, ob, _, nb) = self.block_dims(sj, si);
+        buf[(j - oa) * nb + (i - ob)]
+    }
+
+    fn f_add(&mut self, i: usize, j: usize, v: f64) {
+        let (si, sj) = (self.shell_of_bf[i], self.shell_of_bf[j]);
+        let idx = self.f_block_mut(si, sj);
+        let (oa, ob, _, nb) = self.block_dims(si, sj);
+        self.fcache[idx].1[(i - oa) * nb + (j - ob)] += v;
+    }
+}
+
+/// Build G(D) with per-quartet GA traffic. Same result as every other
+/// build; vastly more communication — that contrast is the point.
+pub fn build_fock_naive(
+    prob: &FockProblem,
+    d_dense: &[f64],
+    grid: ProcessGrid,
+) -> (Vec<f64>, NaiveReport) {
+    let nbf = prob.nbf();
+    assert_eq!(d_dense.len(), nbf * nbf);
+    let nprocs = grid.nprocs();
+    let part = StaticPartition::new(grid, prob.nshells());
+    let ga_d = GlobalArray::from_dense(grid, nbf, nbf, d_dense);
+    let ga_f = GlobalArray::zeros(grid, nbf, nbf);
+    let shell_of_bf = prob.basis.shell_of_bf();
+
+    struct Out {
+        rank: usize,
+        t_fock: f64,
+        quartets: u64,
+    }
+    let outs: Vec<Out> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for rank in 0..nprocs {
+            let (ga_d, ga_f, part, shell_of_bf) = (&ga_d, &ga_f, &part, &shell_of_bf);
+            handles.push(scope.spawn(move || {
+                let start = Instant::now();
+                let mut eng = EriEngine::new();
+                let mut scratch = Vec::new();
+                let mut quartets = 0u64;
+                let mut sink = GaSink {
+                    d: ga_d,
+                    f: ga_f,
+                    rank,
+                    prob,
+                    shell_of_bf,
+                    dcache: Vec::new(),
+                    fcache: Vec::new(),
+                };
+                for (m, n) in part.tasks_of(rank) {
+                    for &p in prob.phi(m) {
+                        let p = p as usize;
+                        for &q in prob.phi(n) {
+                            let q = q as usize;
+                            if !prob.quartet_selected(m, p, n, q) {
+                                continue;
+                            }
+                            // Fetch exactly the six D blocks this quartet
+                            // reads, compute, apply, flush F immediately.
+                            for &(a, b) in &[(m, p), (n, q), (m, n), (m, q), (p, n), (p, q)] {
+                                sink.fetch_d_block(a, b);
+                            }
+                            let sh = &prob.basis.shells;
+                            eng.quartet(&sh[m], &sh[p], &sh[n], &sh[q], &mut scratch);
+                            apply_quartet(&mut sink, prob, [m, p, n, q], &scratch);
+                            sink.flush();
+                            quartets += 1;
+                        }
+                    }
+                }
+                Out { rank, t_fock: start.elapsed().as_secs_f64(), quartets }
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    let mut report = NaiveReport {
+        t_fock: vec![0.0; nprocs],
+        quartets: vec![0; nprocs],
+        comm: vec![CommStats::default(); nprocs],
+    };
+    for o in outs {
+        report.t_fock[o.rank] = o.t_fock;
+        report.quartets[o.rank] = o.quartets;
+        let mut c = ga_d.stats(o.rank);
+        c.merge(&ga_f.stats(o.rank));
+        report.comm[o.rank] = c;
+    }
+    (ga_f.to_dense(), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gtfock::{build_fock_gtfock, GtfockConfig};
+    use crate::seq::build_g_seq;
+    use chem::generators;
+    use chem::reorder::ShellOrdering;
+    use chem::BasisSetKind;
+
+    fn problem() -> FockProblem {
+        FockProblem::new(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            1e-11,
+            ShellOrdering::Natural,
+        )
+        .unwrap()
+    }
+
+    fn density(nbf: usize) -> Vec<f64> {
+        let mut d = vec![0.0; nbf * nbf];
+        for i in 0..nbf {
+            for j in 0..nbf {
+                d[i * nbf + j] = 0.35 / (1.0 + (i as f64 - j as f64).powi(2));
+            }
+        }
+        d
+    }
+
+    fn max_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn naive_matches_sequential() {
+        let prob = problem();
+        let d = density(prob.nbf());
+        let (want, wq) = build_g_seq(&prob, &d);
+        for grid in [ProcessGrid::new(1, 1), ProcessGrid::new(2, 2)] {
+            let (got, rep) = build_fock_naive(&prob, &d, grid);
+            assert_eq!(rep.total_quartets(), wq);
+            assert!(max_diff(&want, &got) < 1e-10, "grid {grid:?}: {}", max_diff(&want, &got));
+        }
+    }
+
+    #[test]
+    fn naive_communicates_far_more_than_gtfock() {
+        let prob = problem();
+        let d = density(prob.nbf());
+        let grid = ProcessGrid::new(2, 2);
+        let (_, naive) = build_fock_naive(&prob, &d, grid);
+        let (_, gt) = build_fock_gtfock(&prob, &d, GtfockConfig { grid, steal: false });
+        let ncalls: u64 = naive.comm.iter().map(|c| c.total_calls()).sum();
+        let gcalls: u64 = gt.comm.iter().map(|c| c.total_calls()).sum();
+        assert!(
+            ncalls > 5 * gcalls,
+            "naive {ncalls} calls should dwarf gtfock {gcalls}"
+        );
+    }
+}

@@ -1,0 +1,546 @@
+//! The NWChem-style baseline Fock build (Algorithm 2, Section II-F).
+//!
+//! D and F are distributed block-row over the processes. Work is divided
+//! into tasks of 5 atom quartets `(I J | K, L..L+4)`; a centralized
+//! dynamic scheduler (a shared atomic counter standing in for NWChem's
+//! `nxtval`) hands tasks to processes. Every process replays the canonical
+//! atom-quartet loop skeleton, counting task ids, and executes the ids the
+//! scheduler assigns to it: exactly the structure of Algorithm 2. D blocks
+//! are fetched per atom quartet and F blocks accumulated per atom quartet —
+//! the per-quartet communication the paper contrasts with GTFock's bulk
+//! prefetch.
+
+use crate::sink::{apply_quartet, FockSink, QUARTET_PERMS};
+use crate::tasks::{FockProblem};
+use distrt::{CommStats, GlobalArray, ProcessGrid};
+use eri::EriEngine;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Configuration of the baseline build.
+#[derive(Debug, Clone, Copy)]
+pub struct NwchemConfig {
+    /// Number of processes (threads); D/F are distributed block-row.
+    pub nprocs: usize,
+    /// Atom quartets per task (the paper's choice is 5).
+    pub chunk: usize,
+}
+
+impl Default for NwchemConfig {
+    fn default() -> Self {
+        NwchemConfig { nprocs: 1, chunk: 5 }
+    }
+}
+
+/// Per-process measurements of one baseline build.
+#[derive(Debug, Clone)]
+pub struct NwchemReport {
+    pub t_fock: Vec<f64>,
+    pub t_comp: Vec<f64>,
+    pub quartets: Vec<u64>,
+    /// Accesses to the centralized task queue (Section IV-C compares this
+    /// against GTFock's per-node queue operations).
+    pub queue_accesses: u64,
+    pub comm: Vec<CommStats>,
+}
+
+impl NwchemReport {
+    pub fn load_balance(&self) -> f64 {
+        let max = self.t_fock.iter().copied().fold(0.0, f64::max);
+        let avg = self.t_fock.iter().sum::<f64>() / self.t_fock.len() as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
+    }
+
+    pub fn total_quartets(&self) -> u64 {
+        self.quartets.iter().sum()
+    }
+}
+
+/// Atom metadata derived from a [`FockProblem`]: contiguous shell ranges
+/// and Schwarz atom-pair values.
+pub struct AtomMap {
+    /// Shell range of each atom (shells of one atom stay contiguous under
+    /// both Natural and cell ordering).
+    pub shells: Vec<Range<usize>>,
+    /// Basis-function range of each atom.
+    pub bfs: Vec<Range<usize>>,
+    /// Atom-pair Schwarz value (max over contained shell pairs).
+    pub pair: Vec<f64>,
+    pub natoms: usize,
+}
+
+impl AtomMap {
+    pub fn new(prob: &FockProblem) -> AtomMap {
+        let shells = &prob.basis.shells;
+        let mut ranges: Vec<Range<usize>> = Vec::new();
+        let mut atom_ids: Vec<usize> = Vec::new();
+        let mut i = 0;
+        while i < shells.len() {
+            let a = shells[i].atom;
+            let start = i;
+            while i < shells.len() && shells[i].atom == a {
+                i += 1;
+            }
+            assert!(
+                !atom_ids.contains(&a),
+                "shells of atom {a} are not contiguous; NWChem-style atom blocking requires it"
+            );
+            atom_ids.push(a);
+            ranges.push(start..i);
+        }
+        let natoms = ranges.len();
+        let bfs: Vec<Range<usize>> = ranges
+            .iter()
+            .map(|r| shells[r.start].bf_offset..shells[r.end - 1].bf_offset + shells[r.end - 1].nfuncs())
+            .collect();
+        let mut pair = vec![0.0; natoms * natoms];
+        for ai in 0..natoms {
+            for aj in 0..natoms {
+                let mut q: f64 = 0.0;
+                for m in ranges[ai].clone() {
+                    for n in ranges[aj].clone() {
+                        q = q.max(prob.screening.pair(m, n));
+                    }
+                }
+                pair[ai * natoms + aj] = q;
+            }
+        }
+        AtomMap { shells: ranges, bfs, pair, natoms }
+    }
+
+    #[inline]
+    pub fn pair_value(&self, i: usize, j: usize) -> f64 {
+        self.pair[i * self.natoms + j]
+    }
+
+    /// Atom of a shell index.
+    pub fn atom_of_shell(&self, prob: &FockProblem) -> Vec<u32> {
+        let mut v = vec![0u32; prob.nshells()];
+        for (a, r) in self.shells.iter().enumerate() {
+            for s in r.clone() {
+                v[s] = a as u32;
+            }
+        }
+        v
+    }
+}
+
+/// Canonical atom-quartet loop skeleton (the "unique triplets + L-range"
+/// of Algorithm 2). Calls `body(i, j, k, l_lo, l_hi)` for every L-chunk,
+/// where the chunk covers L ∈ l_lo ..= l_hi. The task id is the running
+/// index of these calls.
+pub fn atom_task_loop<F: FnMut(usize, usize, usize, usize, usize)>(
+    atoms: &AtomMap,
+    prob: &FockProblem,
+    chunk: usize,
+    mut body: F,
+) {
+    let tau = prob.tau;
+    let maxq = prob.screening.max_q;
+    for i in 0..atoms.natoms {
+        for j in 0..=i {
+            if atoms.pair_value(i, j) < tau / maxq {
+                continue; // (I J) not significant — Algorithm 2 line 5
+            }
+            for k in 0..=i {
+                let l_hi = if k == i { j } else { k };
+                let mut l_lo = 0;
+                while l_lo <= l_hi {
+                    let l_end = (l_lo + chunk - 1).min(l_hi);
+                    body(i, j, k, l_lo, l_end);
+                    l_lo += chunk;
+                }
+            }
+        }
+    }
+}
+
+/// Is (m,n,p,q) the representative of its quartet class *within* the
+/// visited atom quartet (I,J,K,L)? Representative = lexicographically
+/// smallest orbit member whose atom signature equals (I,J,K,L).
+#[inline]
+fn class_rep_within(
+    atom_of_shell: &[u32],
+    shells: [usize; 4],
+    atoms: [u32; 4],
+) -> bool {
+    let mut best: Option<[usize; 4]> = None;
+    for perm in QUARTET_PERMS {
+        let t = [shells[perm[0]], shells[perm[1]], shells[perm[2]], shells[perm[3]]];
+        let ta = [
+            atom_of_shell[t[0]],
+            atom_of_shell[t[1]],
+            atom_of_shell[t[2]],
+            atom_of_shell[t[3]],
+        ];
+        if ta == atoms {
+            best = Some(match best {
+                None => t,
+                Some(b) if t < b => t,
+                Some(b) => b,
+            });
+        }
+    }
+    best == Some(shells)
+}
+
+/// Per-task cache of fetched D / accumulated F atom-pair blocks.
+struct PairCache {
+    nbf_of: Vec<usize>,
+    bf0_of: Vec<usize>,
+    d: HashMap<(u32, u32), Vec<f64>>,
+    f: HashMap<(u32, u32), Vec<f64>>,
+    atom_of_bf: Vec<u32>,
+}
+
+impl PairCache {
+    fn locate(&self, i: usize, j: usize) -> ((u32, u32), bool) {
+        let (ai, aj) = (self.atom_of_bf[i], self.atom_of_bf[j]);
+        if self.d.contains_key(&(ai, aj)) {
+            ((ai, aj), false)
+        } else {
+            debug_assert!(self.d.contains_key(&(aj, ai)), "pair ({ai},{aj}) not fetched");
+            ((aj, ai), true)
+        }
+    }
+
+    #[inline]
+    fn elem(&self, key: (u32, u32), i: usize, j: usize, transposed: bool) -> usize {
+        let (a, b) = (key.0 as usize, key.1 as usize);
+        let (bi, bj) = (self.bf0_of[a], self.bf0_of[b]);
+        let (na, nb) = (self.nbf_of[a], self.nbf_of[b]);
+        let _ = na;
+        if !transposed {
+            (i - bi) * nb + (j - bj)
+        } else {
+            (j - bi) * nb + (i - bj)
+        }
+    }
+}
+
+impl FockSink for PairCache {
+    #[inline]
+    fn d(&self, i: usize, j: usize) -> f64 {
+        let (key, t) = self.locate(i, j);
+        let e = self.elem(key, i, j, t);
+        self.d[&key][e]
+    }
+
+    #[inline]
+    fn f_add(&mut self, i: usize, j: usize, v: f64) {
+        let (key, t) = self.locate(i, j);
+        let e = self.elem(key, i, j, t);
+        self.f.get_mut(&key).expect("F block missing")[e] += v;
+    }
+}
+
+/// Build G(D) with the NWChem-style algorithm. Semantics identical to
+/// [`crate::gtfock::build_fock_gtfock`]; only the parallel structure and
+/// communication pattern differ.
+pub fn build_fock_nwchem(
+    prob: &FockProblem,
+    d_dense: &[f64],
+    cfg: NwchemConfig,
+) -> (Vec<f64>, NwchemReport) {
+    assert!(cfg.nprocs > 0 && cfg.chunk > 0);
+    let nbf = prob.nbf();
+    assert_eq!(d_dense.len(), nbf * nbf);
+    let atoms = AtomMap::new(prob);
+    let atom_of_shell = atoms.atom_of_shell(prob);
+    let mut atom_of_bf = vec![0u32; nbf];
+    for (a, r) in atoms.bfs.iter().enumerate() {
+        for i in r.clone() {
+            atom_of_bf[i] = a as u32;
+        }
+    }
+
+    // Block-row distribution, as NWChem does (Section II-F).
+    let grid = ProcessGrid::new(cfg.nprocs, 1);
+    let ga_d = GlobalArray::from_dense(grid, nbf, nbf, d_dense);
+    let ga_f = GlobalArray::zeros(grid, nbf, nbf);
+    let next_task = AtomicU64::new(0);
+    let queue_accesses = AtomicU64::new(0);
+
+    struct Out {
+        rank: usize,
+        t_fock: f64,
+        t_comp: f64,
+        quartets: u64,
+    }
+
+    let outs: Vec<Out> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for rank in 0..cfg.nprocs {
+            let (ga_d, ga_f) = (&ga_d, &ga_f);
+            let (next_task, queue_accesses) = (&next_task, &queue_accesses);
+            let (atoms, atom_of_shell, atom_of_bf) = (&atoms, &atom_of_shell, &atom_of_bf);
+            handles.push(scope.spawn(move || {
+                let start = Instant::now();
+                let mut comp = 0.0;
+                let mut quartets = 0u64;
+                let mut eng = EriEngine::new();
+                let mut scratch = Vec::new();
+                let mut my_task = {
+                    queue_accesses.fetch_add(1, Ordering::Relaxed);
+                    next_task.fetch_add(1, Ordering::Relaxed)
+                };
+                let mut id: u64 = 0;
+                atom_task_loop(atoms, prob, cfg.chunk, |i, j, k, l_lo, l_hi| {
+                    if id == my_task {
+                        for l in l_lo..=l_hi {
+                            if atoms.pair_value(i, j) * atoms.pair_value(k, l) > prob.tau {
+                                quartets += do_atom_quartet(
+                                    prob,
+                                    atoms,
+                                    atom_of_shell,
+                                    atom_of_bf,
+                                    ga_d,
+                                    ga_f,
+                                    rank,
+                                    &mut eng,
+                                    &mut scratch,
+                                    [i, j, k, l],
+                                    &mut comp,
+                                );
+                            }
+                        }
+                        queue_accesses.fetch_add(1, Ordering::Relaxed);
+                        my_task = next_task.fetch_add(1, Ordering::Relaxed);
+                    }
+                    id += 1;
+                });
+                Out { rank, t_fock: start.elapsed().as_secs_f64(), t_comp: comp, quartets }
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    let mut report = NwchemReport {
+        t_fock: vec![0.0; cfg.nprocs],
+        t_comp: vec![0.0; cfg.nprocs],
+        quartets: vec![0; cfg.nprocs],
+        queue_accesses: queue_accesses.load(Ordering::Relaxed),
+        comm: vec![CommStats::default(); cfg.nprocs],
+    };
+    for o in outs {
+        report.t_fock[o.rank] = o.t_fock;
+        report.t_comp[o.rank] = o.t_comp;
+        report.quartets[o.rank] = o.quartets;
+        let mut c = ga_d.stats(o.rank);
+        c.merge(&ga_f.stats(o.rank));
+        report.comm[o.rank] = c;
+    }
+    (ga_f.to_dense(), report)
+}
+
+/// Execute one atom quartet: fetch its 6 D atom-pair blocks, compute the
+/// selected shell quartets, accumulate its F blocks. Returns quartets
+/// computed. `comp` accrues pure compute time.
+#[allow(clippy::too_many_arguments)]
+fn do_atom_quartet(
+    prob: &FockProblem,
+    atoms: &AtomMap,
+    atom_of_shell: &[u32],
+    atom_of_bf: &[u32],
+    ga_d: &GlobalArray,
+    ga_f: &GlobalArray,
+    rank: usize,
+    eng: &mut EriEngine,
+    scratch: &mut Vec<f64>,
+    quartet: [usize; 4],
+    comp: &mut f64,
+) -> u64 {
+    let [i, j, k, l] = quartet;
+    // The six unordered atom pairs this quartet touches.
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(6);
+    for &(a, b) in &[(i, j), (k, l), (i, k), (i, l), (j, k), (j, l)] {
+        let key = (a as u32, b as u32);
+        let rkey = (b as u32, a as u32);
+        if !pairs.contains(&key) && !pairs.contains(&rkey) {
+            pairs.push(key);
+        }
+    }
+    let nbf_of: Vec<usize> = atoms.bfs.iter().map(|r| r.len()).collect();
+    let bf0_of: Vec<usize> = atoms.bfs.iter().map(|r| r.start).collect();
+    let mut cache = PairCache {
+        nbf_of,
+        bf0_of,
+        d: HashMap::new(),
+        f: HashMap::new(),
+        atom_of_bf: atom_of_bf.to_vec(),
+    };
+    for &(a, b) in &pairs {
+        let (ra, rb) = (atoms.bfs[a as usize].clone(), atoms.bfs[b as usize].clone());
+        let mut blk = vec![0.0; ra.len() * rb.len()];
+        ga_d.get(rank, ra, rb, &mut blk);
+        cache.d.insert((a, b), blk);
+        cache.f.insert(
+            (a, b),
+            vec![0.0; atoms.bfs[a as usize].len() * atoms.bfs[b as usize].len()],
+        );
+    }
+
+    // Compute the selected shell quartets.
+    let t0 = Instant::now();
+    let mut count = 0u64;
+    let at = [i as u32, j as u32, k as u32, l as u32];
+    let sh = &prob.basis.shells;
+    for m in atoms.shells[i].clone() {
+        for n in atoms.shells[j].clone() {
+            if prob.screening.pair(m, n) * prob.screening.max_q <= prob.tau {
+                continue;
+            }
+            for p in atoms.shells[k].clone() {
+                for q in atoms.shells[l].clone() {
+                    if prob.screening.pair(m, n) * prob.screening.pair(p, q) <= prob.tau {
+                        continue;
+                    }
+                    if !class_rep_within(atom_of_shell, [m, n, p, q], at) {
+                        continue;
+                    }
+                    eng.quartet(&sh[m], &sh[n], &sh[p], &sh[q], scratch);
+                    apply_quartet(&mut cache, prob, [m, n, p, q], scratch);
+                    count += 1;
+                }
+            }
+        }
+    }
+    *comp += t0.elapsed().as_secs_f64();
+
+    // Flush the F blocks (½ + ½ᵀ — see localbuf docs).
+    let mut tbuf: Vec<f64> = Vec::new();
+    for (&(a, b), blk) in &cache.f {
+        let (ra, rb) = (atoms.bfs[a as usize].clone(), atoms.bfs[b as usize].clone());
+        let (na, nb) = (ra.len(), rb.len());
+        tbuf.clear();
+        tbuf.extend(blk.iter().map(|&v| 0.5 * v));
+        ga_f.acc(rank, ra.clone(), rb.clone(), &tbuf, 1.0);
+        tbuf.clear();
+        tbuf.resize(na * nb, 0.0);
+        for ii in 0..na {
+            for jj in 0..nb {
+                tbuf[jj * na + ii] = 0.5 * blk[ii * nb + jj];
+            }
+        }
+        ga_f.acc(rank, rb, ra, &tbuf, 1.0);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::build_g_seq;
+    use chem::generators;
+    use chem::reorder::ShellOrdering;
+    use chem::BasisSetKind;
+
+    fn problem() -> FockProblem {
+        FockProblem::new(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            1e-12,
+            ShellOrdering::Natural,
+        )
+        .unwrap()
+    }
+
+    fn density(nbf: usize) -> Vec<f64> {
+        let mut d = vec![0.0; nbf * nbf];
+        for i in 0..nbf {
+            for j in 0..nbf {
+                d[i * nbf + j] = 0.25 / (1.0 + (i as f64 - j as f64).abs());
+            }
+        }
+        d
+    }
+
+    fn max_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn atom_map_structure() {
+        let prob = problem();
+        let atoms = AtomMap::new(&prob);
+        assert_eq!(atoms.natoms, 3);
+        // O has 3 shells, H 1 each.
+        assert_eq!(atoms.shells[0].len(), 3);
+        assert_eq!(atoms.shells[1].len(), 1);
+        // bf ranges tile 0..nbf.
+        let mut covered = 0;
+        for r in &atoms.bfs {
+            assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        assert_eq!(covered, prob.nbf());
+    }
+
+    #[test]
+    fn matches_sequential_single_proc() {
+        let prob = problem();
+        let d = density(prob.nbf());
+        let (want, wq) = build_g_seq(&prob, &d);
+        let (got, rep) = build_fock_nwchem(&prob, &d, NwchemConfig::default());
+        assert_eq!(rep.total_quartets(), wq, "quartet count");
+        assert!(max_diff(&want, &got) < 1e-11, "diff {}", max_diff(&want, &got));
+    }
+
+    #[test]
+    fn matches_sequential_multi_proc() {
+        let prob = problem();
+        let d = density(prob.nbf());
+        let (want, _) = build_g_seq(&prob, &d);
+        for nprocs in [2usize, 3, 5] {
+            let (got, _) = build_fock_nwchem(&prob, &d, NwchemConfig { nprocs, chunk: 2 });
+            assert!(
+                max_diff(&want, &got) < 1e-11,
+                "nprocs={nprocs}: diff {}",
+                max_diff(&want, &got)
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_result() {
+        let prob = problem();
+        let d = density(prob.nbf());
+        let (a, _) = build_fock_nwchem(&prob, &d, NwchemConfig { nprocs: 2, chunk: 1 });
+        let (b, _) = build_fock_nwchem(&prob, &d, NwchemConfig { nprocs: 2, chunk: 7 });
+        assert!(max_diff(&a, &b) < 1e-11);
+    }
+
+    #[test]
+    fn queue_access_counting() {
+        let prob = problem();
+        let d = density(prob.nbf());
+        let (_, rep) = build_fock_nwchem(&prob, &d, NwchemConfig { nprocs: 2, chunk: 5 });
+        // At least one access per process, and roughly one per task.
+        assert!(rep.queue_accesses >= 2);
+    }
+
+    #[test]
+    fn alkane_with_screening_matches_gtfock() {
+        let prob = FockProblem::new(
+            generators::linear_alkane(4),
+            BasisSetKind::Sto3g,
+            1e-9,
+            ShellOrdering::Natural,
+        )
+        .unwrap();
+        let d = density(prob.nbf());
+        let (a, _) = build_fock_nwchem(&prob, &d, NwchemConfig { nprocs: 3, chunk: 5 });
+        let (b, _) = crate::gtfock::build_fock_gtfock(
+            &prob,
+            &d,
+            crate::gtfock::GtfockConfig { grid: distrt::ProcessGrid::new(2, 2), steal: true },
+        );
+        assert!(max_diff(&a, &b) < 1e-10, "diff {}", max_diff(&a, &b));
+    }
+}

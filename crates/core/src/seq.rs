@@ -1,0 +1,232 @@
+//! Sequential reference Fock builds — ground truth for every parallel
+//! variant.
+//!
+//! Two references are provided:
+//!
+//! * [`build_g_bruteforce`] evaluates *every* ordered shell quartet (no
+//!   permutational symmetry, no screening) and applies the plain
+//!   full-enumeration update. O(n⁴) in shells — tests only.
+//! * [`build_g_seq`] is the production sequential path: unique quartets
+//!   via the task predicate + screening, image-expanded updates. This is
+//!   what the parallel algorithms must match bit-for-bit in exact
+//!   arithmetic (and to ~1e-12 in floating point).
+
+use crate::sink::{do_task, DenseSink, FockSink};
+use crate::tasks::FockProblem;
+use eri::EriEngine;
+
+/// Brute-force G(D): all n⁴ ordered quartets, identity image only.
+pub fn build_g_bruteforce(prob: &FockProblem, d: &[f64]) -> Vec<f64> {
+    let nbf = prob.nbf();
+    assert_eq!(d.len(), nbf * nbf);
+    let mut f = vec![0.0; nbf * nbf];
+    let mut eng = EriEngine::new();
+    let mut block = Vec::new();
+    let n = prob.nshells();
+    let sh = &prob.basis.shells;
+    for a in 0..n {
+        for b in 0..n {
+            for c in 0..n {
+                for dd in 0..n {
+                    eng.quartet(&sh[a], &sh[b], &sh[c], &sh[dd], &mut block);
+                    // Identity-image update for every ordered quadruple.
+                    let mut sink = DenseSink { nbf, d, f: &mut f };
+                    apply_identity(&mut sink, prob, [a, b, c, dd], &block);
+                }
+            }
+        }
+    }
+    f
+}
+
+fn apply_identity<S: FockSink>(sink: &mut S, prob: &FockProblem, shells: [usize; 4], block: &[f64]) {
+    let sh = &prob.basis.shells;
+    let dims = [
+        sh[shells[0]].nfuncs(),
+        sh[shells[1]].nfuncs(),
+        sh[shells[2]].nfuncs(),
+        sh[shells[3]].nfuncs(),
+    ];
+    let offs = [
+        sh[shells[0]].bf_offset,
+        sh[shells[1]].bf_offset,
+        sh[shells[2]].bf_offset,
+        sh[shells[3]].bf_offset,
+    ];
+    let mut flat = 0;
+    for i0 in 0..dims[0] {
+        for i1 in 0..dims[1] {
+            for i2 in 0..dims[2] {
+                for i3 in 0..dims[3] {
+                    let v = block[flat];
+                    flat += 1;
+                    let (a, b, c, d) = (offs[0] + i0, offs[1] + i1, offs[2] + i2, offs[3] + i3);
+                    sink.f_add(a, b, 2.0 * sink.d(c, d) * v);
+                    sink.f_add(a, c, -sink.d(b, d) * v);
+                }
+            }
+        }
+    }
+}
+
+/// Sequential production build of G(D) = 2J − K using unique quartets,
+/// screening, and image expansion. Returns (G, quartets computed).
+pub fn build_g_seq(prob: &FockProblem, d: &[f64]) -> (Vec<f64>, u64) {
+    let nbf = prob.nbf();
+    assert_eq!(d.len(), nbf * nbf);
+    let mut f = vec![0.0; nbf * nbf];
+    let mut eng = EriEngine::new();
+    let mut scratch = Vec::new();
+    let mut quartets = 0;
+    let n = prob.nshells();
+    let mut sink = DenseSink { nbf, d, f: &mut f };
+    for m in 0..n {
+        for nn in 0..n {
+            quartets += do_task(&mut sink, prob, &mut eng, &mut scratch, m, nn);
+        }
+    }
+    (f, quartets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chem::generators;
+    use chem::reorder::ShellOrdering;
+    use chem::BasisSetKind;
+
+    fn test_density(nbf: usize, seed: u64) -> Vec<f64> {
+        // Symmetric pseudo-random density-like matrix.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut d = vec![0.0; nbf * nbf];
+        for i in 0..nbf {
+            for j in i..nbf {
+                let v = next() * 0.5;
+                d[i * nbf + j] = v;
+                d[j * nbf + i] = v;
+            }
+        }
+        d
+    }
+
+    fn max_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn unique_plus_images_equals_bruteforce_water() {
+        let prob = FockProblem::new(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            1e-14,
+            ShellOrdering::Natural,
+        )
+        .unwrap();
+        let d = test_density(prob.nbf(), 3);
+        let brute = build_g_bruteforce(&prob, &d);
+        let (seq, quartets) = build_g_seq(&prob, &d);
+        assert!(quartets > 0);
+        assert!(
+            max_diff(&brute, &seq) < 1e-10,
+            "G mismatch: {}",
+            max_diff(&brute, &seq)
+        );
+    }
+
+    #[test]
+    fn unique_plus_images_equals_bruteforce_h2_ccpvdz() {
+        // Exercises p and d... cc-pVDZ H has p shells; use methane for d.
+        let prob = FockProblem::new(
+            generators::hydrogen(1.4),
+            BasisSetKind::CcPvdz,
+            1e-14,
+            ShellOrdering::Natural,
+        )
+        .unwrap();
+        let d = test_density(prob.nbf(), 5);
+        let brute = build_g_bruteforce(&prob, &d);
+        let (seq, _) = build_g_seq(&prob, &d);
+        assert!(max_diff(&brute, &seq) < 1e-10, "mismatch {}", max_diff(&brute, &seq));
+    }
+
+    #[test]
+    fn g_matrix_is_symmetric() {
+        let prob = FockProblem::new(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            1e-12,
+            ShellOrdering::Natural,
+        )
+        .unwrap();
+        let nbf = prob.nbf();
+        let d = test_density(nbf, 9);
+        let (g, _) = build_g_seq(&prob, &d);
+        for i in 0..nbf {
+            for j in 0..nbf {
+                assert!(
+                    (g[i * nbf + j] - g[j * nbf + i]).abs() < 1e-10,
+                    "asym at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn screening_changes_little_at_tight_tau() {
+        let mk = |tau| {
+            FockProblem::new(
+                generators::linear_alkane(3),
+                BasisSetKind::Sto3g,
+                tau,
+                ShellOrdering::Natural,
+            )
+            .unwrap()
+        };
+        let tight = mk(1e-14);
+        let loose = mk(1e-7);
+        let d = test_density(tight.nbf(), 1);
+        let (g1, q1) = build_g_seq(&tight, &d);
+        let (g2, q2) = build_g_seq(&loose, &d);
+        assert!(q2 < q1, "looser tau must drop quartets ({q2} !< {q1})");
+        // The dropped quartets are all ≤ 1e-7 in magnitude, and |D| ≤ 1,
+        // so G changes by a small amount.
+        assert!(max_diff(&g1, &g2) < 1e-4);
+    }
+
+    #[test]
+    fn reordering_does_not_change_g() {
+        // Build with natural vs cell ordering; map G back to function
+        // space via offsets and compare on a fixed physical density
+        // (D = I in function space is ordering-dependent in layout, so use
+        // the identity which is permutation-invariant blockwise only if we
+        // compare physically; simplest: D = I, compare traces and norms).
+        let natural = FockProblem::new(
+            generators::methane(),
+            BasisSetKind::Sto3g,
+            1e-13,
+            ShellOrdering::Natural,
+        )
+        .unwrap();
+        let cells = FockProblem::new(
+            generators::methane(),
+            BasisSetKind::Sto3g,
+            1e-13,
+            ShellOrdering::cells_default(),
+        )
+        .unwrap();
+        let nbf = natural.nbf();
+        let eye: Vec<f64> = (0..nbf * nbf)
+            .map(|k| if k / nbf == k % nbf { 1.0 } else { 0.0 })
+            .collect();
+        let (g1, _) = build_g_seq(&natural, &eye);
+        let (g2, _) = build_g_seq(&cells, &eye);
+        let tr = |g: &[f64]| (0..nbf).map(|i| g[i * nbf + i]).sum::<f64>();
+        let frob = |g: &[f64]| g.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((tr(&g1) - tr(&g2)).abs() < 1e-8);
+        assert!((frob(&g1) - frob(&g2)).abs() < 1e-8);
+    }
+}

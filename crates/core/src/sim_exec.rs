@@ -1,0 +1,1034 @@
+//! Discrete-event cluster-scale execution of both Fock-build algorithms.
+//!
+//! The paper's scaling experiments run on up to 3888 cores; this host has
+//! one. The simulator executes the *exact same task structures* — GTFock's
+//! statically partitioned `(M,:|N,:)` tasks with work stealing, and
+//! NWChem's centralized queue of 5-atom-quartet tasks — against the
+//! calibrated per-quartet ERI cost model and the α–β communication model
+//! of [`MachineParams`]. Outputs are the paper's observables: per-process
+//! T_fock / T_comp / T_ov (Tables III–IV, Figure 2), communication volume
+//! and call counts (Tables VI–VII), and the load-balance ratio
+//! (Table VIII).
+//!
+//! Approximations (documented in DESIGN.md): steal victims are located
+//! with a global view of queue states (no probe messages); NWChem
+//! per-atom-quartet compute cost uses exact screened quartet *counts* but
+//! an atom-type-averaged cost per quartet.
+
+use crate::nwchem::AtomMap;
+use crate::partition::StaticPartition;
+use crate::tasks::{symmetry_check, FockProblem};
+use distrt::{MachineParams, ProcessGrid, Sim};
+use eri::CostModel;
+use rayon::prelude::*;
+
+/// Per-virtual-process outcome of a simulated build.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProcessOutcome {
+    /// Wall-clock completion of this process's Fock work (seconds).
+    pub t_fock: f64,
+    /// Pure computation time (quartets / node threads).
+    pub t_comp: f64,
+    /// Communication time (prefetch + per-task transfers + flush + steals).
+    pub t_comm: f64,
+    /// Time spent waiting on / accessing the task queue (NWChem) .
+    pub t_queue: f64,
+    /// One-sided bytes moved by this process.
+    pub bytes: u64,
+    /// One-sided calls issued by this process.
+    pub calls: u64,
+    /// Successful steal operations (GTFock).
+    pub steals: u64,
+    /// Distinct steal victims (the model's `s`).
+    pub victims: u64,
+    /// Tasks executed.
+    pub tasks: u64,
+}
+
+/// Result of one simulated build.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    pub ncores: usize,
+    pub nprocs: usize,
+    pub per_process: Vec<ProcessOutcome>,
+}
+
+impl SimResult {
+    pub fn t_fock_max(&self) -> f64 {
+        self.per_process.iter().map(|p| p.t_fock).fold(0.0, f64::max)
+    }
+
+    pub fn t_fock_avg(&self) -> f64 {
+        self.per_process.iter().map(|p| p.t_fock).sum::<f64>() / self.nprocs as f64
+    }
+
+    pub fn t_comp_avg(&self) -> f64 {
+        self.per_process.iter().map(|p| p.t_comp).sum::<f64>() / self.nprocs as f64
+    }
+
+    /// Average parallel overhead T_ov = T_fock − T_comp (Figure 2).
+    pub fn t_ov_avg(&self) -> f64 {
+        (self.t_fock_avg() - self.t_comp_avg()).max(0.0)
+    }
+
+    /// Load balance ratio l = T_fock,max / T_fock,avg (Table VIII).
+    pub fn load_balance(&self) -> f64 {
+        let avg = self.t_fock_avg();
+        if avg == 0.0 {
+            1.0
+        } else {
+            self.t_fock_max() / avg
+        }
+    }
+
+    /// Average MB per process (Table VI).
+    pub fn avg_mbytes(&self) -> f64 {
+        self.per_process.iter().map(|p| p.bytes).sum::<u64>() as f64
+            / self.nprocs as f64
+            / 1.0e6
+    }
+
+    /// Average one-sided calls per process (Table VII).
+    pub fn avg_calls(&self) -> f64 {
+        self.per_process.iter().map(|p| p.calls).sum::<u64>() as f64 / self.nprocs as f64
+    }
+
+    /// Average steal victims (the model's `s`).
+    pub fn avg_victims(&self) -> f64 {
+        self.per_process.iter().map(|p| p.victims).sum::<u64>() as f64 / self.nprocs as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GTFock simulation
+// ---------------------------------------------------------------------------
+
+/// Victim-selection policy of the work-stealing scheduler. The paper uses
+/// the row-wise scan and names "smart distributed dynamic scheduling
+/// algorithms" as future work — the other policies quantify the headroom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VictimPolicy {
+    /// The paper's policy: scan ranks row-wise starting after the thief.
+    RowScan,
+    /// Uniformly random victim (classic Blumofe–Leiserson stealing).
+    Random { seed: u64 },
+    /// Steal from the process with the most remaining tasks (an
+    /// omniscient upper bound on victim selection quality).
+    MaxQueue,
+}
+
+/// Work-stealing configuration for the simulated GTFock scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StealConfig {
+    pub enabled: bool,
+    pub policy: VictimPolicy,
+    /// Fraction of the victim's remaining tasks to take (0 < f ≤ 1);
+    /// the paper's deques take half.
+    pub fraction: f64,
+}
+
+impl StealConfig {
+    /// The paper's scheduler: row-scan, steal half.
+    pub fn paper() -> Self {
+        StealConfig { enabled: true, policy: VictimPolicy::RowScan, fraction: 0.5 }
+    }
+
+    /// Static partitioning only (the ablation baseline).
+    pub fn disabled() -> Self {
+        StealConfig { enabled: false, policy: VictimPolicy::RowScan, fraction: 0.5 }
+    }
+}
+
+/// Cost of one Schwarz screening test inside the task loops (a lookup,
+/// a multiply, a compare — Algorithm 3 runs |Φ(M)|·|Φ(N)| of these per
+/// task whether or not any quartet survives, so no task is free).
+const T_SCREEN: f64 = 1.5e-9;
+
+/// Precomputed task costs and region geometry for simulating GTFock on any
+/// core count. Building this is the expensive step (it aggregates the cost
+/// of every significant quartet); `simulate` is then cheap per sweep point.
+pub struct GtfockSimModel<'a> {
+    prob: &'a FockProblem,
+    /// Cost (seconds of one core) of task (m, n), row-major n_shells².
+    task_cost: Vec<f32>,
+    /// Quartets per task.
+    task_quartets: Vec<u32>,
+    /// Per-shell basis-function counts.
+    funcs: Vec<u32>,
+}
+
+impl<'a> GtfockSimModel<'a> {
+    #[allow(clippy::needless_range_loop)] // type-bucket indices are used symbolically
+    pub fn new(prob: &'a FockProblem, cost: &CostModel) -> Self {
+        let n = prob.nshells();
+        let ntypes = cost.ntypes();
+        // Φsym(m) bucketed by shell type, q descending.
+        let mut by_type: Vec<Vec<Vec<(f64, u32)>>> = vec![vec![Vec::new(); ntypes]; n];
+        for m in 0..n {
+            for &p in prob.phi(m) {
+                let p = p as usize;
+                if symmetry_check(m, p) {
+                    let t = cost.type_of_shell[p] as usize;
+                    by_type[m][t].push((prob.screening.pair(m, p), p as u32));
+                }
+            }
+            for list in &mut by_type[m] {
+                list.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            }
+        }
+        let tau = prob.tau;
+        let type_of = &cost.type_of_shell;
+
+        let rows: Vec<(Vec<f32>, Vec<u32>)> = (0..n)
+            .into_par_iter()
+            .map(|m| {
+                let tm = type_of[m];
+                let mut costs = vec![0.0f32; n];
+                let mut quartets = vec![0u32; n];
+                for nn in 0..n {
+                    if m != nn && !symmetry_check(m, nn) {
+                        continue;
+                    }
+                    let tn = type_of[nn];
+                    if m == nn {
+                        // Diagonal tasks need the pairwise tie-break; do it
+                        // directly over Φsym(m)².
+                        let mut c = 0.0f64;
+                        let mut qn = 0u32;
+                        for tp in 0..ntypes {
+                            for &(qp, p) in &by_type[m][tp] {
+                                for tq in 0..ntypes {
+                                    let cq = cost.cost_by_types(tm, tp as u16, tn, tq as u16);
+                                    for &(qq, q) in &by_type[m][tq] {
+                                        if qp * qq <= tau {
+                                            break; // sorted descending
+                                        }
+                                        let (p, q) = (p as usize, q as usize);
+                                        if p == q || symmetry_check(p, q) {
+                                            c += cq;
+                                            qn += 1;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        costs[nn] = c as f32;
+                        quartets[nn] = qn;
+                    } else {
+                        let mut c = 0.0f64;
+                        let mut qn = 0u64;
+                        for tp in 0..ntypes {
+                            let a = &by_type[m][tp];
+                            if a.is_empty() {
+                                continue;
+                            }
+                            for tq in 0..ntypes {
+                                let b = &by_type[nn][tq];
+                                if b.is_empty() {
+                                    continue;
+                                }
+                                let cq = cost.cost_by_types(tm, tp as u16, tn, tq as u16);
+                                // Two-pointer count of pairs with qa*qb > tau:
+                                // as qa decreases, the admissible prefix of b
+                                // shrinks monotonically.
+                                let mut k = b.len();
+                                let mut cnt = 0u64;
+                                for &(qa, _) in a {
+                                    while k > 0 && qa * b[k - 1].0 <= tau {
+                                        k -= 1;
+                                    }
+                                    if k == 0 {
+                                        break;
+                                    }
+                                    cnt += k as u64;
+                                }
+                                c += cq * cnt as f64;
+                                qn += cnt;
+                            }
+                        }
+                        costs[nn] = c as f32;
+                        quartets[nn] = qn as u32;
+                    }
+                }
+                (costs, quartets)
+            })
+            .collect();
+
+        let mut task_cost = Vec::with_capacity(n * n);
+        let mut task_quartets = Vec::with_capacity(n * n);
+        for (c, q) in rows {
+            task_cost.extend(c);
+            task_quartets.extend(q);
+        }
+        // Screening-loop overhead: every task pays |Φ(M)|·|Φ(N)| tests.
+        for m in 0..n {
+            let pm = prob.phi(m).len() as f64;
+            for nn in 0..n {
+                let tests = pm * prob.phi(nn).len() as f64;
+                task_cost[m * n + nn] += (tests * T_SCREEN) as f32;
+            }
+        }
+        let funcs = prob.basis.shells.iter().map(|s| s.nfuncs() as u32).collect();
+        GtfockSimModel { prob, task_cost, task_quartets, funcs }
+    }
+
+    /// Total single-core compute seconds over all tasks.
+    pub fn total_cost(&self) -> f64 {
+        self.task_cost.iter().map(|&c| c as f64).sum()
+    }
+
+    /// Total quartets over all tasks (equals the unique significant
+    /// quartet count of the screening data).
+    pub fn total_quartets(&self) -> u64 {
+        self.task_quartets.iter().map(|&q| q as u64).sum()
+    }
+
+    /// Estimated sequential-equivalent time using `threads` cores.
+    pub fn t_seq(&self, threads: usize) -> f64 {
+        self.total_cost() / threads as f64
+    }
+
+    /// Communication geometry of `rank`'s region: (bytes, calls) for one
+    /// direction (D prefetch; F flush is the same again).
+    fn region_comm(&self, part: &StaticPartition, rank: usize) -> (u64, u64) {
+        let (rows, cols) = part.task_block(rank);
+        let n = self.prob.nshells();
+        let mut bytes = 0u64;
+        let mut calls = 0u64;
+        let mut mark_r = vec![false; n];
+        let mut mark_c = vec![false; n];
+        for m in rows.clone() {
+            let phi = self.prob.phi(m);
+            let f: u64 = phi.iter().map(|&p| self.funcs[p as usize] as u64).sum();
+            bytes += self.funcs[m] as u64 * f * 8;
+            calls += runs(phi);
+            for &p in phi {
+                mark_r[p as usize] = true;
+            }
+        }
+        for nn in cols.clone() {
+            let phi = self.prob.phi(nn);
+            let f: u64 = phi.iter().map(|&q| self.funcs[q as usize] as u64).sum();
+            bytes += self.funcs[nn] as u64 * f * 8;
+            calls += runs(phi);
+            for &q in phi {
+                mark_c[q as usize] = true;
+            }
+        }
+        let (fr, rr) = mask_stats(&mark_r, &self.funcs);
+        let (fc, rc) = mask_stats(&mark_c, &self.funcs);
+        bytes += fr * fc * 8;
+        calls += rr * rc;
+        (bytes, calls)
+    }
+
+    /// Run the discrete-event simulation for `ncores` total cores with the
+    /// paper's scheduler (row-scan, steal half) or stealing disabled.
+    /// GTFock runs one process per node (`machine.cores_per_node` threads).
+    pub fn simulate(&self, machine: MachineParams, ncores: usize, steal: bool) -> SimResult {
+        let cfg = if steal { StealConfig::paper() } else { StealConfig::disabled() };
+        self.simulate_opts(machine, ncores, cfg)
+    }
+
+    /// [`Self::simulate`] with an explicit work-stealing configuration.
+    pub fn simulate_opts(
+        &self,
+        machine: MachineParams,
+        ncores: usize,
+        steal: StealConfig,
+    ) -> SimResult {
+        assert!(steal.fraction > 0.0 && steal.fraction <= 1.0, "steal fraction in (0, 1]");
+        let nodes = (ncores / machine.cores_per_node).max(1);
+        let threads = machine.cores_per_node.min(ncores);
+        let grid = ProcessGrid::squarest(nodes);
+        let nprocs = grid.nprocs();
+        let n = self.prob.nshells();
+        let part = StaticPartition::new(grid, n);
+
+        // Task queues: per rank, a list of task ids with a head cursor.
+        let mut queues: Vec<Vec<u32>> = (0..nprocs)
+            .map(|r| part.tasks_of(r).map(|(m, nn)| (m * n + nn) as u32).collect())
+            .collect();
+        let mut heads = vec![0usize; nprocs];
+
+        let mut out = vec![ProcessOutcome::default(); nprocs];
+        let mut victims_of: Vec<Vec<usize>> = vec![Vec::new(); nprocs];
+        let region: Vec<(u64, u64)> = (0..nprocs).map(|r| self.region_comm(&part, r)).collect();
+
+        let mut sim: Sim<usize> = Sim::new();
+        for rank in 0..nprocs {
+            // D prefetch happens first.
+            let (b, c) = region[rank];
+            let t = machine.comm_time(c, b);
+            out[rank].t_comm += t;
+            out[rank].bytes += b;
+            out[rank].calls += c;
+            sim.schedule(t, rank);
+        }
+
+        let mut events = 0u64;
+        while let Some((now, rank)) = sim.pop() {
+            events += 1;
+            if events > 10_000_000 {
+                panic!("DES runaway: {} events, rank {}, now {}", events, rank, now);
+            }
+            // Pop own queue.
+            if heads[rank] < queues[rank].len() {
+                let task = queues[rank][heads[rank]] as usize;
+                heads[rank] += 1;
+                let cost = self.task_cost[task] as f64;
+                out[rank].t_comp += cost / threads as f64;
+                out[rank].tasks += 1;
+                sim.schedule(now + cost / threads as f64, rank);
+                continue;
+            }
+            if steal.enabled {
+                // Victim selection (global view of queue states).
+                let mut found = None;
+                match steal.policy {
+                    VictimPolicy::RowScan => {
+                        // The paper steals "a block of tasks": a thief that
+                        // would pay a full D-region copy for a near-empty
+                        // queue keeps scanning (first pass wants a real
+                        // backlog; the fallback takes anything non-empty).
+                        const MIN_BLOCK: usize = 8;
+                        for v in grid.steal_order(rank) {
+                            if queues[v].len() - heads[v] >= MIN_BLOCK {
+                                found = Some(v);
+                                break;
+                            }
+                        }
+                        if found.is_none() {
+                            found = grid
+                                .steal_order(rank)
+                                .find(|&v| heads[v] < queues[v].len());
+                        }
+                    }
+                    VictimPolicy::Random { seed } => {
+                        // Deterministic per-(rank, attempt) pseudo-random
+                        // probes, falling back to a scan so no work is
+                        // missed.
+                        let mut state = seed
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add(rank as u64)
+                            .wrapping_add(out[rank].steals);
+                        for _ in 0..nprocs {
+                            state = state
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            let v = (state >> 33) as usize % nprocs;
+                            if v != rank && heads[v] < queues[v].len() {
+                                found = Some(v);
+                                break;
+                            }
+                        }
+                        if found.is_none() {
+                            found = grid
+                                .steal_order(rank)
+                                .find(|&v| heads[v] < queues[v].len());
+                        }
+                    }
+                    VictimPolicy::MaxQueue => {
+                        found = (0..nprocs)
+                            .filter(|&v| v != rank && heads[v] < queues[v].len())
+                            .max_by_key(|&v| queues[v].len() - heads[v]);
+                    }
+                }
+                if let Some(v) = found {
+                    // Steal the configured fraction of the victim's
+                    // remaining tasks (at least one).
+                    let remaining = queues[v].len() - heads[v];
+                    let take = ((remaining as f64 * steal.fraction).ceil() as usize)
+                        .clamp(1, remaining);
+                    let split_at = queues[v].len() - take;
+                    let tail: Vec<u32> = queues[v].split_off(split_at);
+                    queues[rank] = tail;
+                    out[rank].steals += 1;
+                    // Copy the victim's D-local — once per distinct victim
+                    // (the paper keeps the copied buffer while stealing
+                    // repeatedly from the same victim, Section III-F).
+                    let t = if victims_of[rank].contains(&v) {
+                        machine.latency // queue update only
+                    } else {
+                        victims_of[rank].push(v);
+                        let (b, c) = region[v];
+                        out[rank].bytes += b;
+                        out[rank].calls += c;
+                        machine.comm_time(c, b)
+                    };
+                    out[rank].t_comm += t;
+                    // The first stolen task is consumed atomically with the
+                    // steal (as crossbeam's steal_batch_and_pop does) —
+                    // otherwise a lone task could ping-pong between idle
+                    // thieves forever without ever being executed.
+                    heads[rank] = 1;
+                    let first = queues[rank][0] as usize;
+                    let cost = self.task_cost[first] as f64 / threads as f64;
+                    out[rank].t_comp += cost;
+                    out[rank].tasks += 1;
+                    sim.schedule(now + t + cost, rank);
+                    continue;
+                }
+            }
+            // Done: flush own F region plus one flush per distinct victim.
+            let mut flush_b = region[rank].0;
+            let mut flush_c = region[rank].1;
+            for &v in &victims_of[rank] {
+                flush_b += region[v].0;
+                flush_c += region[v].1;
+            }
+            let t = machine.comm_time(flush_c, flush_b);
+            out[rank].t_comm += t;
+            out[rank].bytes += flush_b;
+            out[rank].calls += flush_c;
+            out[rank].t_fock = now + t;
+            out[rank].victims = victims_of[rank].len() as u64;
+        }
+
+        SimResult { ncores, nprocs, per_process: out }
+    }
+}
+
+/// Contiguous runs in a sorted index list — the number of rectangular GA
+/// calls needed to fetch those rows/cols after the spatial reordering.
+fn runs(sorted: &[u32]) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let mut r = 1;
+    for w in sorted.windows(2) {
+        if w[1] != w[0] + 1 {
+            r += 1;
+        }
+    }
+    r
+}
+
+/// Total functions and runs of a shell mask.
+fn mask_stats(mask: &[bool], funcs: &[u32]) -> (u64, u64) {
+    let mut f = 0u64;
+    let mut r = 0u64;
+    let mut prev = false;
+    for (i, &m) in mask.iter().enumerate() {
+        if m {
+            f += funcs[i] as u64;
+            if !prev {
+                r += 1;
+            }
+        }
+        prev = m;
+    }
+    (f, r)
+}
+
+// ---------------------------------------------------------------------------
+// NWChem simulation
+// ---------------------------------------------------------------------------
+
+/// Precomputed per-atom-pair data for the NWChem simulation.
+pub struct NwchemSimModel<'a> {
+    prob: &'a FockProblem,
+    atoms: AtomMap,
+    /// Per atom pair (i*nat+j, canonical pairs only populated for i>=j …
+    /// but stored for all (i,j)): shell-pair Schwarz values sorted
+    /// descending.
+    pair_q: Vec<Vec<f64>>,
+    /// Average quartet cost c̄(apt1, apt2) between atom-type pairs
+    /// (indexed by atom-pair type id), seconds.
+    avg_cost: Vec<f64>,
+    /// Atom-pair type id per atom pair.
+    pair_type: Vec<usize>,
+    /// D/F block bytes of atom pair (i,j).
+    pair_bytes: Vec<u64>,
+    natoms: usize,
+}
+
+impl<'a> NwchemSimModel<'a> {
+    #[allow(clippy::needless_range_loop)] // type-bucket indices are used symbolically
+    pub fn new(prob: &'a FockProblem, cost: &CostModel) -> Self {
+        let atoms = AtomMap::new(prob);
+        let nat = atoms.natoms;
+        // Atom type = multiset of shell types (C vs H etc.); identify by
+        // the type ids of the atom's shells.
+        let atom_type_sig: Vec<Vec<u16>> = (0..nat)
+            .map(|a| {
+                let mut v: Vec<u16> =
+                    atoms.shells[a].clone().map(|s| cost.type_of_shell[s]).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let mut atom_types: Vec<Vec<u16>> = Vec::new();
+        let atom_type: Vec<usize> = (0..nat)
+            .map(|a| {
+                match atom_types.iter().position(|t| *t == atom_type_sig[a]) {
+                    Some(i) => i,
+                    None => {
+                        atom_types.push(atom_type_sig[a].clone());
+                        atom_types.len() - 1
+                    }
+                }
+            })
+            .collect();
+        let ntypes_at = atom_types.len();
+        // Atom-pair type = (type(i), type(j)) collapsed.
+        let pair_type: Vec<usize> = (0..nat * nat)
+            .map(|k| {
+                let (i, j) = (k / nat, k % nat);
+                atom_type[i] * ntypes_at + atom_type[j]
+            })
+            .collect();
+        let nptypes = ntypes_at * ntypes_at;
+
+        // Shell-pair q lists per atom pair (canonical shell pairs within).
+        let mut pair_q: Vec<Vec<f64>> = vec![Vec::new(); nat * nat];
+        let thresh = prob.tau / prob.screening.max_q;
+        for i in 0..nat {
+            for j in 0..nat {
+                let mut v = Vec::new();
+                for m in atoms.shells[i].clone() {
+                    for nsh in atoms.shells[j].clone() {
+                        if i == j && nsh > m {
+                            continue; // canonical within same atom
+                        }
+                        let q = prob.screening.pair(m, nsh);
+                        if q >= thresh {
+                            v.push(q);
+                        }
+                    }
+                }
+                v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                pair_q[i * nat + j] = v;
+            }
+        }
+
+        // Average quartet cost between two atom-pair types: mean of
+        // c(tm,tn,tp,tq) over the shell-type products of representative
+        // atom pairs.
+        let mut avg_cost = vec![0.0f64; nptypes * nptypes];
+        let rep_of_ptype: Vec<Option<(usize, usize)>> = {
+            let mut reps = vec![None; nptypes];
+            for i in 0..nat {
+                for j in 0..nat {
+                    let pt = pair_type[i * nat + j];
+                    if reps[pt].is_none() {
+                        reps[pt] = Some((i, j));
+                    }
+                }
+            }
+            reps
+        };
+        for (pt1, r1) in rep_of_ptype.iter().enumerate() {
+            let Some((i1, j1)) = r1 else { continue };
+            for (pt2, r2) in rep_of_ptype.iter().enumerate() {
+                let Some((i2, j2)) = r2 else { continue };
+                let mut total = 0.0;
+                let mut count = 0u64;
+                for m in atoms.shells[*i1].clone() {
+                    for nsh in atoms.shells[*j1].clone() {
+                        for p in atoms.shells[*i2].clone() {
+                            for q in atoms.shells[*j2].clone() {
+                                total += cost.cost_by_types(
+                                    cost.type_of_shell[m],
+                                    cost.type_of_shell[nsh],
+                                    cost.type_of_shell[p],
+                                    cost.type_of_shell[q],
+                                );
+                                count += 1;
+                            }
+                        }
+                    }
+                }
+                avg_cost[pt1 * nptypes + pt2] = total / count as f64;
+            }
+        }
+
+        let pair_bytes: Vec<u64> = (0..nat * nat)
+            .map(|k| {
+                let (i, j) = (k / nat, k % nat);
+                (atoms.bfs[i].len() * atoms.bfs[j].len() * 8) as u64
+            })
+            .collect();
+
+        NwchemSimModel { prob, atoms, pair_q, avg_cost, pair_type, pair_bytes, natoms: nat }
+    }
+
+    /// Cost + screened quartet count of one atom quartet (I,J,K,L).
+    #[inline]
+    fn quartet_cost(&self, i: usize, j: usize, k: usize, l: usize) -> (f64, u64) {
+        let nat = self.natoms;
+        let a = &self.pair_q[i * nat + j];
+        let b = &self.pair_q[k * nat + l];
+        if a.is_empty() || b.is_empty() {
+            return (0.0, 0);
+        }
+        let tau = self.prob.tau;
+        // Two-pointer count of surviving shell quartets.
+        let mut kk = b.len();
+        let mut cnt = 0u64;
+        for &qa in a {
+            while kk > 0 && qa * b[kk - 1] <= tau {
+                kk -= 1;
+            }
+            if kk == 0 {
+                break;
+            }
+            cnt += kk as u64;
+        }
+        let nptypes = (self.avg_cost.len() as f64).sqrt() as usize;
+        let c = self.avg_cost
+            [self.pair_type[i * nat + j] * nptypes + self.pair_type[k * nat + l]];
+        (c * cnt as f64, cnt)
+    }
+
+    /// Communication of one atom quartet: 6 D gets + 6 F accs over its
+    /// unordered atom pairs.
+    #[inline]
+    fn quartet_comm(&self, i: usize, j: usize, k: usize, l: usize) -> (u64, u64) {
+        let nat = self.natoms;
+        let mut pairs = [(0usize, 0usize); 6];
+        let raw = [(i, j), (k, l), (i, k), (i, l), (j, k), (j, l)];
+        let mut np = 0;
+        for &(a, b) in &raw {
+            let key = if a >= b { (a, b) } else { (b, a) };
+            if !pairs[..np].contains(&key) {
+                pairs[np] = key;
+                np += 1;
+            }
+        }
+        let mut bytes = 0u64;
+        for &(a, b) in &pairs[..np] {
+            bytes += self.pair_bytes[a * nat + b];
+        }
+        // D get + F acc for each block.
+        (bytes * 2, np as u64 * 2)
+    }
+
+    /// Run the discrete-event simulation: one process per core, block-row
+    /// distribution, centralized dynamic scheduler.
+    ///
+    /// Because the baseline runs `cores_per_node` single-threaded MPI
+    /// processes per node (the paper's NWChem configuration), the node's
+    /// interconnect bandwidth is shared among them; GTFock's one
+    /// multithreaded process per node gets the full NIC.
+    pub fn simulate(&self, machine: MachineParams, ncores: usize, chunk: usize) -> SimResult {
+        let nprocs = ncores.max(1);
+        let machine = MachineParams {
+            bandwidth: machine.bandwidth / machine.cores_per_node.max(1) as f64,
+            ..machine
+        };
+        let mut gen = AtomTaskGen::new(self, chunk);
+        let mut out = vec![ProcessOutcome::default(); nprocs];
+        let mut sim: Sim<usize> = Sim::new();
+        let mut queue_free_at = 0.0f64;
+        for rank in 0..nprocs {
+            sim.schedule(0.0, rank);
+        }
+        let mut done = vec![false; nprocs];
+        while let Some((now, rank)) = sim.pop() {
+            // GetTask: serialized access to the central queue.
+            let begin = queue_free_at.max(now);
+            let service = machine.atomic_op + machine.latency;
+            queue_free_at = begin + service;
+            let queue_t = (begin - now) + service;
+            out[rank].t_queue += queue_t;
+
+            match gen.next() {
+                None => {
+                    if !done[rank] {
+                        done[rank] = true;
+                        out[rank].t_fock = now + queue_t;
+                    }
+                }
+                Some((i, j, k, l_lo, l_hi)) => {
+                    out[rank].tasks += 1;
+                    let mut task_time = queue_t;
+                    for l in l_lo..=l_hi {
+                        if self.atoms.pair_value(i, j) * self.atoms.pair_value(k, l)
+                            <= self.prob.tau
+                        {
+                            continue;
+                        }
+                        let (cost, _cnt) = self.quartet_cost(i, j, k, l);
+                        if cost == 0.0 {
+                            continue;
+                        }
+                        let (bytes, calls) = self.quartet_comm(i, j, k, l);
+                        let comm_t = machine.comm_time(calls, bytes);
+                        out[rank].t_comp += cost;
+                        out[rank].t_comm += comm_t;
+                        out[rank].bytes += bytes;
+                        out[rank].calls += calls;
+                        task_time += cost + comm_t;
+                    }
+                    sim.schedule(now + task_time, rank);
+                }
+            }
+        }
+        SimResult { ncores, nprocs, per_process: out }
+    }
+
+    /// Total queue accesses a run will make (tasks + one empty poll per
+    /// process) — the Section IV-C scheduler-overhead comparison.
+    pub fn total_tasks(&self, chunk: usize) -> u64 {
+        let mut gen = AtomTaskGen::new(self, chunk);
+        let mut n = 0;
+        while gen.next().is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Total single-core compute seconds over all atom quartets.
+    pub fn total_cost(&self, chunk: usize) -> f64 {
+        let mut gen = AtomTaskGen::new(self, chunk);
+        let mut total = 0.0;
+        while let Some((i, j, k, l_lo, l_hi)) = gen.next() {
+            for l in l_lo..=l_hi {
+                if self.atoms.pair_value(i, j) * self.atoms.pair_value(k, l) > self.prob.tau {
+                    total += self.quartet_cost(i, j, k, l).0;
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Streaming generator of Algorithm 2's task list (no O(#tasks) memory).
+struct AtomTaskGen<'m, 'p> {
+    model: &'m NwchemSimModel<'p>,
+    chunk: usize,
+    i: usize,
+    j: usize,
+    k: usize,
+    l_lo: usize,
+    fresh_triplet: bool,
+}
+
+impl<'m, 'p> AtomTaskGen<'m, 'p> {
+    fn new(model: &'m NwchemSimModel<'p>, chunk: usize) -> Self {
+        AtomTaskGen { model, chunk, i: 0, j: 0, k: 0, l_lo: 0, fresh_triplet: true }
+    }
+
+    /// Next task: (I, J, K, l_lo, l_hi_of_chunk).
+    fn next(&mut self) -> Option<(usize, usize, usize, usize, usize)> {
+        let nat = self.model.natoms;
+        let thresh = self.model.prob.tau / self.model.prob.screening.max_q;
+        loop {
+            if self.i >= nat {
+                return None;
+            }
+            // Significance of (I, J) — Algorithm 2 line 5.
+            if self.model.atoms.pair_value(self.i, self.j) < thresh {
+                self.advance_triplet(nat);
+                continue;
+            }
+            let l_hi = if self.k == self.i { self.j } else { self.k };
+            if self.fresh_triplet {
+                self.l_lo = 0;
+                self.fresh_triplet = false;
+            }
+            if self.l_lo > l_hi {
+                self.advance_k(nat);
+                continue;
+            }
+            let task = (
+                self.i,
+                self.j,
+                self.k,
+                self.l_lo,
+                (self.l_lo + self.chunk - 1).min(l_hi),
+            );
+            self.l_lo += self.chunk;
+            // Skip blocks with no surviving atom quartet: NWChem's measured
+            // queue-access counts (e.g. 137,993 for C100H202 at 3888 cores)
+            // show the real code never enqueues work-free blocks.
+            let qij = self.model.atoms.pair_value(task.0, task.1);
+            let any = (task.3..=task.4)
+                .any(|l| qij * self.model.atoms.pair_value(task.2, l) > self.model.prob.tau);
+            if !any {
+                continue;
+            }
+            return Some(task);
+        }
+    }
+
+    fn advance_k(&mut self, nat: usize) {
+        self.fresh_triplet = true;
+        self.k += 1;
+        if self.k > self.i {
+            self.k = 0;
+            self.j += 1;
+            if self.j > self.i {
+                self.j = 0;
+                self.i += 1;
+            }
+        }
+        let _ = nat;
+    }
+
+    fn advance_triplet(&mut self, nat: usize) {
+        // Insignificant (I,J): skip all K for this (I,J).
+        self.fresh_triplet = true;
+        self.k = self.i; // force advance past the K loop
+        self.advance_k(nat);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chem::generators;
+    use chem::reorder::ShellOrdering;
+    use chem::BasisSetKind;
+    use chem::shells::BasisInstance;
+
+    fn setup() -> (FockProblem, CostModel) {
+        let prob = FockProblem::new(
+            generators::graphene_flake(1), // benzene
+            BasisSetKind::Sto3g,
+            1e-10,
+            ShellOrdering::cells_default(),
+        )
+        .unwrap();
+        let basis = BasisInstance::new(generators::graphene_flake(1), BasisSetKind::Sto3g).unwrap();
+        let cost = CostModel::calibrate(&basis, 1);
+        (prob, cost)
+    }
+
+    #[test]
+    fn gtfock_model_quartets_match_screening() {
+        let (prob, cost) = setup();
+        let model = GtfockSimModel::new(&prob, &cost);
+        assert_eq!(model.total_quartets(), prob.screening.unique_significant_quartets());
+        assert!(model.total_cost() > 0.0);
+    }
+
+    #[test]
+    fn gtfock_sim_conserves_work() {
+        let (prob, cost) = setup();
+        let model = GtfockSimModel::new(&prob, &cost);
+        let machine = MachineParams::lonestar();
+        for &cores in &[12usize, 48, 192] {
+            let r = model.simulate(machine, cores, true);
+            let total_tasks: u64 = r.per_process.iter().map(|p| p.tasks).sum();
+            assert_eq!(total_tasks as usize, prob.nshells() * prob.nshells(), "cores={cores}");
+            // All compute time accounted: sum of t_comp * threads == total.
+            let threads = machine.cores_per_node.min(cores) as f64;
+            let comp: f64 = r.per_process.iter().map(|p| p.t_comp).sum::<f64>() * threads;
+            assert!((comp - model.total_cost()).abs() < 1e-6 * model.total_cost().max(1e-12));
+        }
+    }
+
+    #[test]
+    fn gtfock_sim_scales_down_time() {
+        let (prob, cost) = setup();
+        let model = GtfockSimModel::new(&prob, &cost);
+        let machine = MachineParams::lonestar();
+        let t12 = model.simulate(machine, 12, true).t_fock_max();
+        let t48 = model.simulate(machine, 48, true).t_fock_max();
+        assert!(t48 < t12, "no speedup: {t48} !< {t12}");
+    }
+
+    #[test]
+    fn stealing_improves_balance() {
+        let (prob, cost) = setup();
+        let model = GtfockSimModel::new(&prob, &cost);
+        let machine = MachineParams::lonestar();
+        let with = model.simulate(machine, 108, true);
+        let without = model.simulate(machine, 108, false);
+        assert!(
+            with.load_balance() <= without.load_balance() + 1e-9,
+            "stealing worsened balance: {} vs {}",
+            with.load_balance(),
+            without.load_balance()
+        );
+    }
+
+    #[test]
+    fn steal_policies_all_complete_all_work() {
+        let (prob, cost) = setup();
+        let model = GtfockSimModel::new(&prob, &cost);
+        let machine = MachineParams::lonestar();
+        let total = prob.nshells() * prob.nshells();
+        for policy in [
+            VictimPolicy::RowScan,
+            VictimPolicy::Random { seed: 7 },
+            VictimPolicy::MaxQueue,
+        ] {
+            for fraction in [0.25, 0.5, 1.0] {
+                let r = model.simulate_opts(
+                    machine,
+                    96,
+                    StealConfig { enabled: true, policy, fraction },
+                );
+                let tasks: u64 = r.per_process.iter().map(|p| p.tasks).sum();
+                assert_eq!(tasks as usize, total, "{policy:?} f={fraction}");
+                assert!(r.t_fock_max() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn max_queue_policy_not_worse_than_rowscan() {
+        let (prob, cost) = setup();
+        let model = GtfockSimModel::new(&prob, &cost);
+        let machine = MachineParams::lonestar();
+        let scan = model.simulate_opts(machine, 192, StealConfig::paper());
+        let maxq = model.simulate_opts(
+            machine,
+            192,
+            StealConfig { enabled: true, policy: VictimPolicy::MaxQueue, fraction: 0.5 },
+        );
+        // Omniscient victim choice should not lose by much.
+        assert!(maxq.t_fock_max() <= scan.t_fock_max() * 1.2);
+    }
+
+    #[test]
+    fn nwchem_sim_runs_and_scales() {
+        let (prob, cost) = setup();
+        let model = NwchemSimModel::new(&prob, &cost);
+        let machine = MachineParams::lonestar();
+        let r12 = model.simulate(machine, 12, 5);
+        let r48 = model.simulate(machine, 48, 5);
+        assert!(r12.t_fock_max() > 0.0);
+        assert!(r48.t_fock_max() < r12.t_fock_max());
+        let tasks: u64 = r12.per_process.iter().map(|p| p.tasks).sum();
+        assert_eq!(tasks, model.total_tasks(5));
+    }
+
+    #[test]
+    fn nwchem_comm_exceeds_gtfock_comm() {
+        // The paper's Tables VI/VII: per-quartet block traffic of the
+        // baseline far exceeds GTFock's bulk prefetch at equal core count.
+        let (prob, cost) = setup();
+        let gt = GtfockSimModel::new(&prob, &cost);
+        let nw = NwchemSimModel::new(&prob, &cost);
+        let machine = MachineParams::lonestar();
+        let g = gt.simulate(machine, 48, true);
+        let w = nw.simulate(machine, 48, 5);
+        assert!(
+            w.avg_calls() > g.avg_calls(),
+            "nwchem calls {} !> gtfock {}",
+            w.avg_calls(),
+            g.avg_calls()
+        );
+    }
+
+    #[test]
+    fn task_generator_covers_canonical_quartets() {
+        let (prob, cost) = setup();
+        let model = NwchemSimModel::new(&prob, &cost);
+        // With chunk=1 each task is exactly one atom quartet; the union of
+        // (i,j,k,l) must be the canonical enumeration (with sig(I,J)).
+        let mut gen = AtomTaskGen::new(&model, 1);
+        let mut seen = std::collections::HashSet::new();
+        while let Some((i, j, k, l_lo, l_hi)) = gen.next() {
+            assert_eq!(l_lo, l_hi);
+            assert!(j <= i && k <= i);
+            assert!(l_lo <= if k == i { j } else { k });
+            assert!(seen.insert((i, j, k, l_lo)), "duplicate {:?}", (i, j, k, l_lo));
+        }
+        assert!(!seen.is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! The paper's task model (Section III-B).
+//!
+//! A task `(M,:|N,:)` computes all significant, symmetry-unique shell
+//! quartets `(MP|NQ)` with `P ∈ Φ(M)`, `Q ∈ Φ(N)` and updates the
+//! corresponding Fock blocks. The maximum number of tasks is n_shells² —
+//! the fine granularity that lets the algorithm balance load at large
+//! process counts.
+
+use chem::molecule::Molecule;
+use chem::reorder::{reorder, ShellOrdering};
+use chem::shells::BasisInstance;
+use chem::BasisSetKind;
+use eri::Screening;
+
+/// The paper's SymmetryCheck predicate: for M ≠ N exactly one of
+/// `symmetry_check(M, N)`, `symmetry_check(N, M)` holds (chosen by index
+/// order and parity so that accepted pairs spread evenly over the task
+/// grid); diagonal pairs are always accepted.
+#[inline]
+pub fn symmetry_check(m: usize, n: usize) -> bool {
+    m == n || (m > n && (m + n).is_multiple_of(2)) || (m < n && (m + n) % 2 == 1)
+}
+
+/// Is the quartet with bra pair (M, P) and ket pair (N, Q) the canonical
+/// representative of its 8-fold symmetry class?
+///
+/// This is Algorithm 3's triple SymmetryCheck with one refinement: when the
+/// two pair-leaders coincide (M == N) the bra↔ket order is decided on the
+/// second indices (`P == Q || symmetry_check(P, Q)`), which the plain
+/// triple check cannot disambiguate. With that tie-break every unique
+/// quartet is selected exactly once (see the exhaustive unit test below).
+#[inline]
+pub fn unique_quartet(m: usize, p: usize, n: usize, q: usize) -> bool {
+    symmetry_check(m, p)
+        && symmetry_check(n, q)
+        && if m != n { symmetry_check(m, n) } else { p == q || symmetry_check(p, q) }
+}
+
+/// A Fock-construction problem: molecule + basis + screening data, with
+/// shells in the ordering the algorithm will use.
+pub struct FockProblem {
+    pub basis: BasisInstance,
+    pub screening: Screening,
+    /// Screening tolerance τ used to build `screening`.
+    pub tau: f64,
+}
+
+impl FockProblem {
+    /// Instantiate `kind` on `molecule`, apply `ordering` (the paper uses
+    /// the spatial cell ordering, Section III-D), and compute screening
+    /// data at tolerance `tau`.
+    pub fn new(
+        molecule: Molecule,
+        kind: BasisSetKind,
+        tau: f64,
+        ordering: ShellOrdering,
+    ) -> Result<FockProblem, String> {
+        let basis = BasisInstance::new(molecule, kind)?;
+        let basis = reorder(&basis, ordering);
+        let screening = Screening::compute(&basis, tau);
+        Ok(FockProblem { basis, screening, tau })
+    }
+
+    #[inline]
+    pub fn nshells(&self) -> usize {
+        self.basis.nshells()
+    }
+
+    #[inline]
+    pub fn nbf(&self) -> usize {
+        self.basis.nbf
+    }
+
+    /// Significant set Φ(M).
+    #[inline]
+    pub fn phi(&self, m: usize) -> &[u32] {
+        self.screening.phi(m)
+    }
+
+    /// Should quartet (MP|NQ) be computed inside task (M,:|N,:)?
+    /// Combines the uniqueness predicate with Cauchy–Schwarz screening.
+    #[inline]
+    pub fn quartet_selected(&self, m: usize, p: usize, n: usize, q: usize) -> bool {
+        unique_quartet(m, p, n, q)
+            && self.screening.pair(m, p) * self.screening.pair(n, q) > self.tau
+    }
+
+    /// Number of shell quartets task (M,:|N,:) will actually compute.
+    pub fn task_quartet_count(&self, m: usize, n: usize) -> u64 {
+        let mut count = 0;
+        for &p in self.phi(m) {
+            for &q in self.phi(n) {
+                if self.quartet_selected(m, p as usize, n, q as usize) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chem::generators;
+
+    #[test]
+    fn symmetry_check_selects_one_order() {
+        for m in 0..30 {
+            for n in 0..30 {
+                if m == n {
+                    assert!(symmetry_check(m, n));
+                } else {
+                    assert_ne!(symmetry_check(m, n), symmetry_check(n, m), "m={m} n={n}");
+                }
+            }
+        }
+    }
+
+    /// Canonical class key of quartet with bra {a,b}, ket {c,d}.
+    fn class_key(a: usize, b: usize, c: usize, d: usize) -> (usize, usize, usize, usize) {
+        let bra = (a.max(b), a.min(b));
+        let ket = (c.max(d), c.min(d));
+        let (hi, lo) = if bra >= ket { (bra, ket) } else { (ket, bra) };
+        (hi.0, hi.1, lo.0, lo.1)
+    }
+
+    #[test]
+    fn unique_quartet_is_exactly_once() {
+        // Exhaustively: over all ordered (m,p,n,q) in an n-shell system,
+        // each 8-fold symmetry class must be selected exactly once.
+        let n = 9;
+        let mut seen = std::collections::HashMap::new();
+        for m in 0..n {
+            for p in 0..n {
+                for nn in 0..n {
+                    for q in 0..n {
+                        if unique_quartet(m, p, nn, q) {
+                            *seen.entry(class_key(m, p, nn, q)).or_insert(0u32) += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Every class present exactly once.
+        let total_classes: usize = {
+            let mut s = std::collections::HashSet::new();
+            for a in 0..n {
+                for b in 0..n {
+                    for c in 0..n {
+                        for d in 0..n {
+                            s.insert(class_key(a, b, c, d));
+                        }
+                    }
+                }
+            }
+            s.len()
+        };
+        assert_eq!(seen.len(), total_classes, "some classes never selected");
+        for (k, count) in &seen {
+            assert_eq!(*count, 1, "class {k:?} selected {count} times");
+        }
+    }
+
+    #[test]
+    fn unique_quartet_covers_coincidence_patterns() {
+        // Spot-check the tricky degenerate patterns directly.
+        // (MM|MM): only itself.
+        assert!(unique_quartet(3, 3, 3, 3));
+        // (MP|MQ) with P≠Q and M leading both pairs (symmetry_check(M,P)
+        // and symmetry_check(M,Q) both true): exactly one of the two
+        // bra/ket orders — the case the paper's plain triple check cannot
+        // disambiguate. For M=3, valid partners are {1, 4, 6, …}.
+        for p in [1usize, 4, 6] {
+            for q in [1usize, 4, 6] {
+                if p == q {
+                    continue;
+                }
+                assert!(symmetry_check(3, p) && symmetry_check(3, q));
+                let a = unique_quartet(3, p, 3, q);
+                let b = unique_quartet(3, q, 3, p);
+                assert_ne!(a, b, "p={p} q={q}");
+            }
+        }
+        // (MP|PM): never selected in the mixed orientation...
+        let m = 2;
+        let p = 5;
+        assert!(!(unique_quartet(m, p, p, m) && unique_quartet(p, m, m, p)));
+        // ...its class is represented by (MP|MP)-style tuples instead.
+        let reps = [
+            unique_quartet(m, p, m, p),
+            unique_quartet(p, m, p, m),
+            unique_quartet(m, p, p, m),
+            unique_quartet(p, m, m, p),
+        ];
+        assert_eq!(reps.iter().filter(|&&x| x).count(), 1);
+    }
+
+    #[test]
+    fn problem_construction_and_counts() {
+        let prob = FockProblem::new(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            1e-10,
+            ShellOrdering::cells_default(),
+        )
+        .unwrap();
+        assert_eq!(prob.nshells(), 5);
+        assert_eq!(prob.nbf(), 7);
+        // Sum of per-task quartet counts over all (M,N) must equal the
+        // total number of selected quartets, which for tiny water is every
+        // unique class (nothing screens out at tau=1e-10).
+        let n = prob.nshells();
+        let total: u64 = (0..n)
+            .flat_map(|m| (0..n).map(move |nn| (m, nn)))
+            .map(|(m, nn)| prob.task_quartet_count(m, nn))
+            .sum();
+        assert_eq!(total, prob.screening.unique_significant_quartets());
+    }
+
+    #[test]
+    fn screened_problem_has_fewer_quartets() {
+        let mk = |tau| {
+            FockProblem::new(
+                generators::linear_alkane(6),
+                BasisSetKind::Sto3g,
+                tau,
+                ShellOrdering::Natural,
+            )
+            .unwrap()
+        };
+        let tight = mk(1e-14);
+        let loose = mk(1e-5);
+        let count = |p: &FockProblem| -> u64 {
+            let n = p.nshells();
+            (0..n)
+                .flat_map(|m| (0..n).map(move |nn| (m, nn)))
+                .map(|(m, nn)| p.task_quartet_count(m, nn))
+                .sum()
+        };
+        assert!(count(&loose) < count(&tight));
+    }
+}

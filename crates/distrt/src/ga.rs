@@ -1,0 +1,363 @@
+//! A Global-Arrays-like distributed 2-D array.
+//!
+//! The array is partitioned in a 2-D blocked layout over a process grid
+//! (the paper's layout for F and D, Section III-E). Processes access
+//! arbitrary rectangular patches through one-sided `get`, `put` and `acc`
+//! operations; each patch access is decomposed into one call per touched
+//! owner block, mirroring how Global Arrays issues transfers, and is
+//! recorded in the caller's [`CommStats`].
+//!
+//! Storage is shared memory guarded by per-block locks — which is exactly
+//! how real GA behaves inside a node; "remote" vs "local" is an accounting
+//! distinction, the one the paper's Tables VI/VII measure.
+
+use crate::grid::{block_owner, ProcessGrid};
+use crate::stats::CommStats;
+use parking_lot::{Mutex, RwLock};
+use std::ops::Range;
+
+/// Distributed dense `nrows × ncols` matrix of f64.
+pub struct GlobalArray {
+    pub grid: ProcessGrid,
+    pub nrows: usize,
+    pub ncols: usize,
+    /// One block per rank, row-major within the block.
+    blocks: Vec<RwLock<Vec<f64>>>,
+    stats: Vec<Mutex<CommStats>>,
+}
+
+impl GlobalArray {
+    /// Zero-initialized distributed array.
+    pub fn zeros(grid: ProcessGrid, nrows: usize, ncols: usize) -> Self {
+        let blocks = (0..grid.nprocs())
+            .map(|rank| {
+                let (r, c) = grid.coords(rank);
+                let nr = grid.row_block(nrows, r).len();
+                let nc = grid.col_block(ncols, c).len();
+                RwLock::new(vec![0.0; nr * nc])
+            })
+            .collect();
+        let stats = (0..grid.nprocs()).map(|_| Mutex::new(CommStats::default())).collect();
+        GlobalArray { grid, nrows, ncols, blocks, stats }
+    }
+
+    /// Build from a dense row-major matrix (no communication recorded).
+    pub fn from_dense(grid: ProcessGrid, nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols);
+        let ga = GlobalArray::zeros(grid, nrows, ncols);
+        for rank in 0..grid.nprocs() {
+            let (r, c) = grid.coords(rank);
+            let rr = grid.row_block(nrows, r);
+            let cc = grid.col_block(ncols, c);
+            let mut blk = ga.blocks[rank].write();
+            for (bi, i) in rr.clone().enumerate() {
+                for (bj, j) in cc.clone().enumerate() {
+                    blk[bi * cc.len() + bj] = data[i * ncols + j];
+                }
+            }
+        }
+        ga
+    }
+
+    /// Gather the whole array to a dense row-major matrix (no communication
+    /// recorded; verification/diagnostics only).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.nrows * self.ncols];
+        for rank in 0..self.grid.nprocs() {
+            let (r, c) = self.grid.coords(rank);
+            let rr = self.grid.row_block(self.nrows, r);
+            let cc = self.grid.col_block(self.ncols, c);
+            let blk = self.blocks[rank].read();
+            for (bi, i) in rr.clone().enumerate() {
+                for (bj, j) in cc.clone().enumerate() {
+                    out[i * self.ncols + j] = blk[bi * cc.len() + bj];
+                }
+            }
+        }
+        out
+    }
+
+    /// One-sided get of patch (`rows`, `cols`) into `out` (row-major
+    /// rows.len() × cols.len()), issued by process `caller`.
+    pub fn get(&self, caller: usize, rows: Range<usize>, cols: Range<usize>, out: &mut [f64]) {
+        let w = cols.len();
+        assert!(out.len() >= rows.len() * w, "output buffer too small");
+        self.for_each_block(caller, rows.clone(), cols.clone(), OpKind::Get, |blk, ri, ci, bw, bro, bco| {
+            let b = blk.read();
+            for i in ri.clone() {
+                let src = (i - bro) * bw + (ci.start - bco);
+                let dst = (i - rows.start) * w + (ci.start - cols.start);
+                out[dst..dst + ci.len()].copy_from_slice(&b[src..src + ci.len()]);
+            }
+        });
+    }
+
+    /// One-sided put of `data` (row-major rows.len() × cols.len()).
+    pub fn put(&self, caller: usize, rows: Range<usize>, cols: Range<usize>, data: &[f64]) {
+        let w = cols.len();
+        assert!(data.len() >= rows.len() * w, "input buffer too small");
+        self.for_each_block(caller, rows.clone(), cols.clone(), OpKind::Put, |blk, ri, ci, bw, bro, bco| {
+            let mut b = blk.write();
+            for i in ri.clone() {
+                let dst = (i - bro) * bw + (ci.start - bco);
+                let src = (i - rows.start) * w + (ci.start - cols.start);
+                b[dst..dst + ci.len()].copy_from_slice(&data[src..src + ci.len()]);
+            }
+        });
+    }
+
+    /// One-sided atomic accumulate: patch += scale * data.
+    pub fn acc(&self, caller: usize, rows: Range<usize>, cols: Range<usize>, data: &[f64], scale: f64) {
+        let w = cols.len();
+        assert!(data.len() >= rows.len() * w, "input buffer too small");
+        self.for_each_block(caller, rows.clone(), cols.clone(), OpKind::Acc, |blk, ri, ci, bw, bro, bco| {
+            let mut b = blk.write();
+            for i in ri.clone() {
+                let dst = (i - bro) * bw + (ci.start - bco);
+                let src = (i - rows.start) * w + (ci.start - cols.start);
+                for k in 0..ci.len() {
+                    b[dst + k] += scale * data[src + k];
+                }
+            }
+        });
+    }
+
+    /// Communication stats recorded for `rank` since the last reset.
+    pub fn stats(&self, rank: usize) -> CommStats {
+        *self.stats[rank].lock()
+    }
+
+    /// Sum of all processes' stats.
+    pub fn stats_total(&self) -> CommStats {
+        let mut t = CommStats::default();
+        for s in &self.stats {
+            t.merge(&s.lock());
+        }
+        t
+    }
+
+    pub fn reset_stats(&self) {
+        for s in &self.stats {
+            *s.lock() = CommStats::default();
+        }
+    }
+
+    /// Owner rank of element (i, j).
+    pub fn owner(&self, i: usize, j: usize) -> usize {
+        self.grid.owner(self.nrows, self.ncols, i, j)
+    }
+
+    /// Decompose a patch into per-owner-block pieces, record accounting,
+    /// and run `f` on each piece. `f` receives the block lock, the global
+    /// row range and col range of the piece, the block's row width, and the
+    /// block's global row/col origin.
+    fn for_each_block<F>(
+        &self,
+        caller: usize,
+        rows: Range<usize>,
+        cols: Range<usize>,
+        kind: OpKind,
+        mut f: F,
+    ) where
+        F: FnMut(&RwLock<Vec<f64>>, &Range<usize>, &Range<usize>, usize, usize, usize),
+    {
+        assert!(rows.end <= self.nrows && cols.end <= self.ncols, "patch out of bounds");
+        if rows.is_empty() || cols.is_empty() {
+            return;
+        }
+        let g = self.grid;
+        let r0 = block_owner(self.nrows, g.prow, rows.start);
+        let r1 = block_owner(self.nrows, g.prow, rows.end - 1);
+        let c0 = block_owner(self.ncols, g.pcol, cols.start);
+        let c1 = block_owner(self.ncols, g.pcol, cols.end - 1);
+        let mut stats = self.stats[caller].lock();
+        for br in r0..=r1 {
+            let rb = g.row_block(self.nrows, br);
+            let ri = rows.start.max(rb.start)..rows.end.min(rb.end);
+            if ri.is_empty() {
+                continue;
+            }
+            for bc in c0..=c1 {
+                let cb = g.col_block(self.ncols, bc);
+                let ci = cols.start.max(cb.start)..cols.end.min(cb.end);
+                if ci.is_empty() {
+                    continue;
+                }
+                let rank = g.rank(br, bc);
+                let bytes = (ri.len() * ci.len() * std::mem::size_of::<f64>()) as u64;
+                match kind {
+                    OpKind::Get => {
+                        stats.get_calls += 1;
+                        stats.get_bytes += bytes;
+                    }
+                    OpKind::Put => {
+                        stats.put_calls += 1;
+                        stats.put_bytes += bytes;
+                    }
+                    OpKind::Acc => {
+                        stats.acc_calls += 1;
+                        stats.acc_bytes += bytes;
+                    }
+                }
+                if rank == caller {
+                    stats.local_calls += 1;
+                    stats.local_bytes += bytes;
+                }
+                f(&self.blocks[rank], &ri, &ci, cb.len(), rb.start, cb.start);
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum OpKind {
+    Get,
+    Put,
+    Acc,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(n: usize, m: usize) -> Vec<f64> {
+        (0..n * m).map(|k| k as f64).collect()
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let g = ProcessGrid::new(2, 3);
+        let d = dense(7, 11);
+        let ga = GlobalArray::from_dense(g, 7, 11, &d);
+        assert_eq!(ga.to_dense(), d);
+    }
+
+    #[test]
+    fn get_patch_matches_dense() {
+        let g = ProcessGrid::new(3, 2);
+        let d = dense(9, 8);
+        let ga = GlobalArray::from_dense(g, 9, 8, &d);
+        let (rows, cols) = (2..7usize, 1..6usize);
+        let mut out = vec![0.0; rows.len() * cols.len()];
+        ga.get(0, rows.clone(), cols.clone(), &mut out);
+        for (ii, i) in rows.clone().enumerate() {
+            for (jj, j) in cols.clone().enumerate() {
+                assert_eq!(out[ii * cols.len() + jj], d[i * 8 + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn put_then_get_roundtrip() {
+        let g = ProcessGrid::new(2, 2);
+        let ga = GlobalArray::zeros(g, 6, 6);
+        let patch: Vec<f64> = (0..12).map(|k| k as f64 + 0.5).collect();
+        ga.put(1, 1..4, 2..6, &patch);
+        let mut out = vec![0.0; 12];
+        ga.get(2, 1..4, 2..6, &mut out);
+        assert_eq!(out, patch);
+    }
+
+    #[test]
+    fn acc_accumulates_with_scale() {
+        let g = ProcessGrid::new(2, 2);
+        let ga = GlobalArray::zeros(g, 4, 4);
+        let ones = vec![1.0; 4];
+        ga.acc(0, 0..2, 0..2, &ones, 2.0);
+        ga.acc(3, 0..2, 0..2, &ones, 0.5);
+        let mut out = vec![0.0; 4];
+        ga.get(0, 0..2, 0..2, &mut out);
+        assert!(out.iter().all(|&v| (v - 2.5).abs() < 1e-15));
+    }
+
+    #[test]
+    fn call_accounting_one_per_touched_block() {
+        let g = ProcessGrid::new(2, 2);
+        let ga = GlobalArray::zeros(g, 8, 8);
+        // Patch spanning all 4 blocks → 4 get calls.
+        let mut out = vec![0.0; 36];
+        ga.get(0, 2..8, 2..8, &mut out);
+        let s = ga.stats(0);
+        assert_eq!(s.get_calls, 4);
+        assert_eq!(s.get_bytes, 36 * 8);
+        // One of the four blocks is caller-owned.
+        assert_eq!(s.local_calls, 1);
+    }
+
+    #[test]
+    fn local_accounting() {
+        let g = ProcessGrid::new(2, 2);
+        let ga = GlobalArray::zeros(g, 8, 8);
+        // Rank 0 owns rows 0..4, cols 0..4; an access inside is fully local.
+        let mut out = vec![0.0; 4];
+        ga.get(0, 0..2, 0..2, &mut out);
+        let s = ga.stats(0);
+        assert_eq!(s.get_calls, 1);
+        assert_eq!(s.local_calls, 1);
+        assert_eq!(s.remote_calls(), 0);
+    }
+
+    #[test]
+    fn stats_reset_and_total() {
+        let g = ProcessGrid::new(1, 2);
+        let ga = GlobalArray::zeros(g, 4, 4);
+        let mut out = vec![0.0; 16];
+        ga.get(0, 0..4, 0..4, &mut out);
+        ga.get(1, 0..4, 0..4, &mut out);
+        let t = ga.stats_total();
+        assert_eq!(t.get_calls, 4); // each full get touches 2 blocks
+        ga.reset_stats();
+        assert_eq!(ga.stats_total().total_calls(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_patch_panics() {
+        let g = ProcessGrid::new(1, 1);
+        let ga = GlobalArray::zeros(g, 4, 4);
+        let mut out = vec![0.0; 16];
+        ga.get(0, 0..5, 0..4, &mut out);
+    }
+
+    #[test]
+    fn concurrent_accumulates_are_atomic() {
+        // Many threads accumulating into overlapping patches must produce
+        // the exact sum — the property Fock flushes rely on.
+        let g = ProcessGrid::new(2, 2);
+        let ga = std::sync::Arc::new(GlobalArray::zeros(g, 12, 12));
+        let nthreads = 8;
+        let reps = 50;
+        std::thread::scope(|s| {
+            for t in 0..nthreads {
+                let ga = ga.clone();
+                s.spawn(move || {
+                    let ones = vec![1.0; 36];
+                    for _ in 0..reps {
+                        ga.acc(t % 4, 3..9, 3..9, &ones, 1.0);
+                    }
+                });
+            }
+        });
+        let d = ga.to_dense();
+        let want = (nthreads * reps) as f64;
+        for i in 3..9 {
+            for j in 3..9 {
+                assert_eq!(d[i * 12 + j], want, "({i},{j})");
+            }
+        }
+        // Outside the patch untouched.
+        assert_eq!(d[0], 0.0);
+        // Accounting: each acc spanning 4 blocks → 4 calls each.
+        let total = ga.stats_total();
+        assert_eq!(total.acc_calls, (nthreads * reps * 4) as u64);
+    }
+
+    #[test]
+    fn more_procs_than_rows() {
+        // Degenerate but legal: 5×5 matrix on a 8-process grid row.
+        let g = ProcessGrid::new(4, 2);
+        let d = dense(5, 5);
+        let ga = GlobalArray::from_dense(g, 5, 5, &d);
+        assert_eq!(ga.to_dense(), d);
+    }
+}

@@ -1,0 +1,165 @@
+//! Virtual process grids and 1-D block distributions.
+
+use std::ops::Range;
+
+/// Balanced block distribution: split `n` items into `nparts` contiguous
+/// parts whose sizes differ by at most one; returns part `k`.
+pub fn block_range(n: usize, nparts: usize, k: usize) -> Range<usize> {
+    assert!(nparts > 0 && k < nparts, "part {k} of {nparts}");
+    let base = n / nparts;
+    let extra = n % nparts;
+    let start = k * base + k.min(extra);
+    let len = base + usize::from(k < extra);
+    start..start + len
+}
+
+/// Which part of a [`block_range`] distribution owns item `i`.
+pub fn block_owner(n: usize, nparts: usize, i: usize) -> usize {
+    assert!(i < n);
+    let base = n / nparts;
+    let extra = n % nparts;
+    let big = (base + 1) * extra; // items covered by the `extra` larger parts
+    if base == 0 {
+        // More parts than items: item i goes to part i.
+        return i;
+    }
+    if i < big {
+        i / (base + 1)
+    } else {
+        extra + (i - big) / base
+    }
+}
+
+/// A `prow × pcol` virtual process grid with row-major ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessGrid {
+    pub prow: usize,
+    pub pcol: usize,
+}
+
+impl ProcessGrid {
+    pub fn new(prow: usize, pcol: usize) -> Self {
+        assert!(prow > 0 && pcol > 0);
+        ProcessGrid { prow, pcol }
+    }
+
+    /// The most-square grid for `p` processes: prow × pcol = p with
+    /// prow ≤ pcol and prow the largest divisor of p not exceeding √p.
+    pub fn squarest(p: usize) -> Self {
+        assert!(p > 0);
+        let mut prow = (p as f64).sqrt() as usize;
+        while prow > 1 && !p.is_multiple_of(prow) {
+            prow -= 1;
+        }
+        ProcessGrid { prow, pcol: p / prow }
+    }
+
+    #[inline]
+    pub fn nprocs(self) -> usize {
+        self.prow * self.pcol
+    }
+
+    /// Rank → (row, col).
+    #[inline]
+    pub fn coords(self, rank: usize) -> (usize, usize) {
+        debug_assert!(rank < self.nprocs());
+        (rank / self.pcol, rank % self.pcol)
+    }
+
+    /// (row, col) → rank.
+    #[inline]
+    pub fn rank(self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.prow && c < self.pcol);
+        r * self.pcol + c
+    }
+
+    /// The row-range of `n` items owned by grid row `r`.
+    pub fn row_block(self, n: usize, r: usize) -> Range<usize> {
+        block_range(n, self.prow, r)
+    }
+
+    /// The col-range of `n` items owned by grid column `c`.
+    pub fn col_block(self, n: usize, c: usize) -> Range<usize> {
+        block_range(n, self.pcol, c)
+    }
+
+    /// Owner rank of element (i, j) in an n × m 2-D blocked layout.
+    pub fn owner(self, n: usize, m: usize, i: usize, j: usize) -> usize {
+        self.rank(block_owner(n, self.prow, i), block_owner(m, self.pcol, j))
+    }
+
+    /// Row-wise scan order starting after `rank`, wrapping around — the
+    /// victim-search order of the paper's work-stealing scheduler
+    /// (Section III-F).
+    pub fn steal_order(self, rank: usize) -> impl Iterator<Item = usize> {
+        let p = self.nprocs();
+        (1..p).map(move |k| (rank + k) % p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_tile_exactly() {
+        for &(n, parts) in &[(10usize, 3usize), (7, 7), (5, 8), (100, 12), (1, 1)] {
+            let mut covered = 0;
+            for k in 0..parts {
+                let r = block_range(n, parts, k);
+                assert_eq!(r.start, covered);
+                covered = r.end;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn block_sizes_balanced() {
+        let sizes: Vec<usize> = (0..5).map(|k| block_range(17, 5, k).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 17);
+        let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(mx - mn <= 1);
+    }
+
+    #[test]
+    fn owner_matches_range() {
+        for &(n, parts) in &[(10usize, 3usize), (7, 7), (100, 12), (3, 8)] {
+            for i in 0..n {
+                let o = block_owner(n, parts, i);
+                assert!(block_range(n, parts, o).contains(&i), "n={n} parts={parts} i={i} o={o}");
+            }
+        }
+    }
+
+    #[test]
+    fn coords_rank_roundtrip() {
+        let g = ProcessGrid::new(3, 5);
+        for rank in 0..g.nprocs() {
+            let (r, c) = g.coords(rank);
+            assert_eq!(g.rank(r, c), rank);
+        }
+    }
+
+    #[test]
+    fn squarest_grids() {
+        assert_eq!(ProcessGrid::squarest(16), ProcessGrid::new(4, 4));
+        assert_eq!(ProcessGrid::squarest(12), ProcessGrid::new(3, 4));
+        assert_eq!(ProcessGrid::squarest(7), ProcessGrid::new(1, 7));
+        assert_eq!(ProcessGrid::squarest(1), ProcessGrid::new(1, 1));
+        assert_eq!(ProcessGrid::squarest(324), ProcessGrid::new(18, 18));
+    }
+
+    #[test]
+    fn steal_order_visits_everyone_once() {
+        let g = ProcessGrid::new(2, 3);
+        let order: Vec<usize> = g.steal_order(4).collect();
+        assert_eq!(order.len(), 5);
+        let mut s = order.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 5]);
+        // Starts with the next rank in row-wise order.
+        assert_eq!(order[0], 5);
+        assert_eq!(order[1], 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Per-process communication accounting — the observable the paper reports
+//! in Tables VI (bytes) and VII (call counts).
+
+/// Counts of one-sided operations issued by one process, split by kind and
+/// by locality. Following the paper's methodology, *total* volumes include
+//  local transfers ("the volumes measured are total communication volumes,
+/// including local transfers", Section IV-C).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    pub get_calls: u64,
+    pub put_calls: u64,
+    pub acc_calls: u64,
+    pub get_bytes: u64,
+    pub put_bytes: u64,
+    pub acc_bytes: u64,
+    /// Subset of the calls above whose target block was locally owned.
+    pub local_calls: u64,
+    pub local_bytes: u64,
+}
+
+impl CommStats {
+    pub fn total_calls(&self) -> u64 {
+        self.get_calls + self.put_calls + self.acc_calls
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.get_bytes + self.put_bytes + self.acc_bytes
+    }
+
+    pub fn remote_bytes(&self) -> u64 {
+        self.total_bytes() - self.local_bytes
+    }
+
+    pub fn remote_calls(&self) -> u64 {
+        self.total_calls() - self.local_calls
+    }
+
+    /// Accumulate another process's stats (for fleet-wide averages).
+    pub fn merge(&mut self, o: &CommStats) {
+        self.get_calls += o.get_calls;
+        self.put_calls += o.put_calls;
+        self.acc_calls += o.acc_calls;
+        self.get_bytes += o.get_bytes;
+        self.put_bytes += o.put_bytes;
+        self.acc_bytes += o.acc_bytes;
+        self.local_calls += o.local_calls;
+        self.local_bytes += o.local_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_merge() {
+        let a = CommStats {
+            get_calls: 2,
+            put_calls: 1,
+            acc_calls: 3,
+            get_bytes: 100,
+            put_bytes: 50,
+            acc_bytes: 25,
+            local_calls: 1,
+            local_bytes: 10,
+        };
+        assert_eq!(a.total_calls(), 6);
+        assert_eq!(a.total_bytes(), 175);
+        assert_eq!(a.remote_calls(), 5);
+        assert_eq!(a.remote_bytes(), 165);
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.total_calls(), 12);
+        assert_eq!(b.total_bytes(), 350);
+    }
+}

@@ -1,0 +1,143 @@
+//! The Boys function F_m(T) = ∫₀¹ t^{2m} exp(−T t²) dt, the radial kernel of
+//! every Coulomb-type Gaussian integral.
+//!
+//! Evaluation strategy (standard in integral codes):
+//! * tiny T — Taylor limit F_m(0) = 1/(2m+1);
+//! * small/moderate T — convergent series for F_{m_max} followed by stable
+//!   downward recursion F_m = (2T·F_{m+1} + e^{−T}) / (2m+1);
+//! * large T — asymptotic F_0 = ½√(π/T) with upward recursion
+//!   F_{m+1} = ((2m+1)·F_m − e^{−T}) / (2T), stable because e^{−T} ≈ 0.
+
+/// Threshold above which the asymptotic branch is used.
+const T_LARGE: f64 = 35.0;
+const T_TINY: f64 = 1e-13;
+
+/// Fill `out[0..=m_max]` with F_m(t). `out` must have length `m_max + 1`.
+pub fn boys(m_max: usize, t: f64, out: &mut [f64]) {
+    assert!(out.len() > m_max, "output buffer too small");
+    assert!(t >= 0.0, "Boys argument must be non-negative");
+    if t < T_TINY {
+        for (m, o) in out.iter_mut().enumerate().take(m_max + 1) {
+            *o = 1.0 / (2 * m + 1) as f64;
+        }
+        return;
+    }
+    let emt = (-t).exp();
+    if t > T_LARGE {
+        out[0] = 0.5 * (std::f64::consts::PI / t).sqrt();
+        for m in 0..m_max {
+            out[m + 1] = ((2 * m + 1) as f64 * out[m] - emt) / (2.0 * t);
+        }
+        return;
+    }
+    // Series at the top order: F_m(t) = e^{-t} Σ_i (2t)^i (2m-1)!!/(2m+2i+1)!!.
+    let mut term = 1.0 / (2 * m_max + 1) as f64;
+    let mut sum = term;
+    let mut i = 0usize;
+    loop {
+        term *= 2.0 * t / (2 * m_max + 2 * i + 3) as f64;
+        sum += term;
+        i += 1;
+        if term < sum * 1e-17 || i > 300 {
+            break;
+        }
+    }
+    out[m_max] = emt * sum;
+    for m in (0..m_max).rev() {
+        out[m] = (2.0 * t * out[m + 1] + emt) / (2 * m + 1) as f64;
+    }
+}
+
+/// Single-order convenience wrapper (used by tests and the cost model).
+pub fn boys_single(m: usize, t: f64) -> f64 {
+    let mut buf = vec![0.0; m + 1];
+    boys(m, t, &mut buf);
+    buf[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference by adaptive Simpson quadrature of the defining integral.
+    fn boys_quadrature(m: usize, t: f64) -> f64 {
+        let f = |x: f64| x.powi(2 * m as i32) * (-t * x * x).exp();
+        let n = 20_000;
+        let h = 1.0 / n as f64;
+        let mut s = f(0.0) + f(1.0);
+        for i in 1..n {
+            let x = i as f64 * h;
+            s += if i % 2 == 1 { 4.0 * f(x) } else { 2.0 * f(x) };
+        }
+        s * h / 3.0
+    }
+
+    #[test]
+    fn f0_closed_form() {
+        // F_0(t) = sqrt(pi/t)/2 * erf(sqrt(t)); spot check vs quadrature.
+        for &t in &[0.1, 0.5, 1.0, 5.0, 20.0, 34.9, 35.1, 100.0] {
+            let got = boys_single(0, t);
+            let want = boys_quadrature(0, t);
+            assert!((got - want).abs() < 1e-10, "t={t}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn higher_orders_match_quadrature() {
+        for &t in &[0.0, 1e-14, 0.2, 2.0, 12.0, 30.0, 40.0, 80.0] {
+            for m in 0..=8 {
+                let got = boys_single(m, t);
+                let want = boys_quadrature(m, t);
+                assert!(
+                    (got - want).abs() < 1e-9 * want.max(1e-3),
+                    "m={m} t={t}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_argument_limit() {
+        let mut out = [0.0; 5];
+        boys(4, 0.0, &mut out);
+        for (m, &v) in out.iter().enumerate() {
+            assert!((v - 1.0 / (2 * m + 1) as f64).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn recurrence_holds_across_branches() {
+        // F_{m+1} must satisfy 2t F_{m+1} = (2m+1) F_m - e^{-t} everywhere,
+        // including at the branch switch point.
+        for &t in &[0.5, 10.0, 34.999, 35.001, 60.0] {
+            let mut out = [0.0; 9];
+            boys(8, t, &mut out);
+            for m in 0..8 {
+                let lhs = 2.0 * t * out[m + 1];
+                let rhs = (2 * m + 1) as f64 * out[m] - (-t).exp();
+                assert!((lhs - rhs).abs() < 1e-12 * (1.0 + lhs.abs()), "m={m} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_in_m_and_t() {
+        let mut lo = [0.0; 7];
+        let mut hi = [0.0; 7];
+        boys(6, 3.0, &mut lo);
+        boys(6, 4.0, &mut hi);
+        for m in 0..6 {
+            assert!(lo[m + 1] < lo[m], "decreasing in m");
+            assert!(hi[m] < lo[m], "decreasing in t");
+        }
+    }
+
+    #[test]
+    fn all_values_positive() {
+        for &t in &[0.0, 1.0, 34.0, 36.0, 500.0] {
+            let mut out = [0.0; 13];
+            boys(12, t, &mut out);
+            assert!(out.iter().all(|&v| v > 0.0), "t={t}: {out:?}");
+        }
+    }
+}

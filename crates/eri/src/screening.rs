@@ -1,0 +1,292 @@
+//! Cauchy–Schwarz screening (Section II-D of the paper).
+//!
+//! For every shell pair we store the pair value (MN) = max √|(mn|mn)|; a
+//! quartet (MN|PQ) is skipped when (MN)·(PQ) < τ, and a pair MN is
+//! *significant* when (MN) ≥ τ/m with m = max (MN). The per-shell
+//! significant sets Φ(M) define the paper's task volume
+//! |(M,:|N,:)| = |Φ(M)|·|Φ(N)|.
+
+use crate::teints::EriEngine;
+use chem::shells::BasisInstance;
+use rayon::prelude::*;
+
+/// Precomputed screening data for one basis instance.
+#[derive(Debug, Clone)]
+pub struct Screening {
+    /// Screening (drop) tolerance τ.
+    pub tau: f64,
+    /// Number of shells.
+    pub n: usize,
+    /// Pair values, row-major n×n (symmetric).
+    q: Vec<f64>,
+    /// m = max over pairs of (MN).
+    pub max_q: f64,
+    /// Φ(M) for every shell, ascending shell indices.
+    sig: Vec<Vec<u32>>,
+}
+
+impl Screening {
+    /// Compute pair values and significant sets. Work is parallelized over
+    /// shell rows; spatially distant pairs are pre-filtered with a
+    /// conservative Gaussian-overlap bound before any ERI is evaluated.
+    pub fn compute(basis: &BasisInstance, tau: f64) -> Screening {
+        assert!(tau > 0.0, "screening tolerance must be positive");
+        let n = basis.nshells();
+        let shells = &basis.shells;
+        // exp(-mu R^2) < 1e-30 can never survive any practical tau once
+        // multiplied by bounded prefactors.
+        const LOG_CUT: f64 = 69.0;
+
+        let rows: Vec<Vec<f64>> = (0..n)
+            .into_par_iter()
+            .map(|m| {
+                let mut eng = EriEngine::new();
+                let mut row = vec![0.0; n];
+                let sm = &shells[m];
+                let am = sm.min_exp();
+                for (p, sp) in shells.iter().enumerate() {
+                    if p < m {
+                        continue; // filled by symmetry
+                    }
+                    let ap = sp.min_exp();
+                    let mu = am * ap / (am + ap);
+                    if mu * sm.center.dist2(sp.center) > LOG_CUT {
+                        continue;
+                    }
+                    row[p] = eng.schwarz_pair_value(sm, sp);
+                }
+                row
+            })
+            .collect();
+
+        let mut q = vec![0.0; n * n];
+        for (m, row) in rows.iter().enumerate() {
+            for p in m..n {
+                q[m * n + p] = row[p];
+                q[p * n + m] = row[p];
+            }
+        }
+        let max_q = q.iter().copied().fold(0.0f64, f64::max);
+        let thresh = tau / max_q;
+        let sig: Vec<Vec<u32>> = (0..n)
+            .map(|m| {
+                (0..n)
+                    .filter(|&p| q[m * n + p] >= thresh)
+                    .map(|p| p as u32)
+                    .collect()
+            })
+            .collect();
+        Screening { tau, n, q, max_q, sig }
+    }
+
+    /// Pair value (MN).
+    #[inline]
+    pub fn pair(&self, m: usize, p: usize) -> f64 {
+        self.q[m * self.n + p]
+    }
+
+    /// Is the pair MN significant ((MN) ≥ τ/m)?
+    #[inline]
+    pub fn significant(&self, m: usize, p: usize) -> bool {
+        self.pair(m, p) >= self.tau / self.max_q
+    }
+
+    /// Should the quartet (MN|PQ) be computed ((MN)(PQ) > τ)?
+    #[inline]
+    pub fn quartet_allowed(&self, m: usize, nn: usize, p: usize, qq: usize) -> bool {
+        self.pair(m, nn) * self.pair(p, qq) > self.tau
+    }
+
+    /// Φ(M), ascending.
+    #[inline]
+    pub fn phi(&self, m: usize) -> &[u32] {
+        &self.sig[m]
+    }
+
+    /// Number of significant canonical pairs (M ≤ N).
+    pub fn sig_pair_count(&self) -> usize {
+        let thresh = self.tau / self.max_q;
+        let mut c = 0;
+        for m in 0..self.n {
+            for p in m..self.n {
+                if self.q[m * self.n + p] >= thresh {
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Number of *unique* significant shell quartets — the paper's Table II
+    /// column. Unique = unordered pairs {(MN),(PQ)} of canonical (M ≤ N)
+    /// pairs with (MN)(PQ) > τ. Counted in O(P log P) by sorting pair
+    /// values, never enumerating quartets.
+    pub fn unique_significant_quartets(&self) -> u64 {
+        let mut vals: Vec<f64> = Vec::new();
+        for m in 0..self.n {
+            for p in m..self.n {
+                let v = self.q[m * self.n + p];
+                if v > 0.0 {
+                    vals.push(v);
+                }
+            }
+        }
+        vals.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+        let mut count = 0u64;
+        for (i, &v) in vals.iter().enumerate() {
+            // j >= i with vals[j] > tau / v ; vals sorted descending.
+            let need = self.tau / v;
+            if v * v <= self.tau {
+                break; // no j >= i can qualify anymore
+            }
+            // Binary search for first index with vals[idx] <= need.
+            let hi = vals.partition_point(|&x| x > need);
+            if hi > i {
+                count += (hi - i) as u64;
+            }
+        }
+        count
+    }
+
+    /// B of the performance model: average |Φ(M)|.
+    pub fn avg_phi(&self) -> f64 {
+        self.sig.iter().map(|s| s.len()).sum::<usize>() as f64 / self.n as f64
+    }
+
+    /// q of the performance model: average |Φ(M) ∩ Φ(M+1)|.
+    pub fn avg_phi_overlap(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let mut total = 0usize;
+        for m in 0..self.n - 1 {
+            let (a, b) = (&self.sig[m], &self.sig[m + 1]);
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        total += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        total as f64 / (self.n - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chem::basis::BasisSetKind;
+    use chem::generators;
+
+    fn screening(molgen: fn() -> chem::Molecule, tau: f64) -> (BasisInstance, Screening) {
+        let b = BasisInstance::new(molgen(), BasisSetKind::Sto3g).unwrap();
+        let s = Screening::compute(&b, tau);
+        (b, s)
+    }
+
+    #[test]
+    fn pair_values_symmetric_nonnegative() {
+        let (b, s) = screening(generators::water, 1e-10);
+        for m in 0..b.nshells() {
+            for p in 0..b.nshells() {
+                assert!(s.pair(m, p) >= 0.0);
+                assert_eq!(s.pair(m, p), s.pair(p, m));
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_pairs_are_significant() {
+        // (MM) can never be screened out relative to max for these systems.
+        let (b, s) = screening(generators::water, 1e-10);
+        for m in 0..b.nshells() {
+            assert!(s.significant(m, m));
+        }
+    }
+
+    #[test]
+    fn screening_bound_is_sound() {
+        // Every quartet that screening drops really is below tau.
+        let tau = 1e-6;
+        let (b, s) = screening(generators::methane, tau);
+        let mut eng = EriEngine::new();
+        let mut out = Vec::new();
+        let n = b.nshells();
+        for m in 0..n {
+            for nn in 0..n {
+                for p in 0..n {
+                    for q in 0..n {
+                        if !s.quartet_allowed(m, nn, p, q) {
+                            eng.quartet(&b.shells[m], &b.shells[nn], &b.shells[p], &b.shells[q], &mut out);
+                            let mx = out.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+                            assert!(mx <= tau * (1.0 + 1e-9), "dropped quartet above tau: {mx}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alkane_screens_more_than_flake() {
+        // 1-D chains lose far more quartets than dense 2-D flakes of a
+        // comparable shell count — the paper's central workload contrast.
+        let tau = 1e-10;
+        let balk = BasisInstance::new(generators::linear_alkane(12), BasisSetKind::Sto3g).unwrap();
+        let bflk = BasisInstance::new(generators::graphene_flake(2), BasisSetKind::Sto3g).unwrap();
+        let salk = Screening::compute(&balk, tau);
+        let sflk = Screening::compute(&bflk, tau);
+        let frac = |s: &Screening| s.avg_phi() / s.n as f64;
+        assert!(frac(&salk) < frac(&sflk), "alkane Φ fraction {} vs flake {}", frac(&salk), frac(&sflk));
+    }
+
+    #[test]
+    fn unique_quartets_matches_bruteforce() {
+        let tau = 1e-8;
+        let (b, s) = screening(generators::water, tau);
+        let n = b.nshells();
+        let mut brute = 0u64;
+        // Unordered pairs of canonical pairs.
+        let mut pairs = Vec::new();
+        for m in 0..n {
+            for p in m..n {
+                if s.pair(m, p) > 0.0 {
+                    pairs.push(s.pair(m, p));
+                }
+            }
+        }
+        for i in 0..pairs.len() {
+            for j in i..pairs.len() {
+                if pairs[i] * pairs[j] > tau {
+                    brute += 1;
+                }
+            }
+        }
+        assert_eq!(s.unique_significant_quartets(), brute);
+    }
+
+    #[test]
+    fn phi_sets_sorted_and_consistent() {
+        let (b, s) = screening(generators::methane, 1e-10);
+        for m in 0..b.nshells() {
+            let phi = s.phi(m);
+            assert!(phi.windows(2).all(|w| w[0] < w[1]));
+            for &p in phi {
+                assert!(s.significant(m, p as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_tau_means_more_quartets() {
+        let (_, loose) = screening(generators::methane, 1e-4);
+        let (_, tight) = screening(generators::methane, 1e-12);
+        assert!(tight.unique_significant_quartets() >= loose.unique_significant_quartets());
+    }
+}

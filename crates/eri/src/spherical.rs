@@ -1,0 +1,180 @@
+//! Cartesian → real-spherical transformation.
+//!
+//! Integrals are computed over Cartesian Gaussians; d shells (and above,
+//! if ever added) are transformed to the 2l+1 real solid harmonics that
+//! cc-pVDZ uses, so basis-function counts match the paper's Table II.
+//!
+//! Convention: the Cartesian components carry the per-component
+//! normalization factor √((2l−1)!!/((2lx−1)!!(2ly−1)!!(2lz−1)!!)), which is
+//! folded into the transform matrices; the raw integrals are produced with
+//! the (l,0,0) normalization baked into the contraction coefficients
+//! (see `chem::shells`).
+
+/// Number of Cartesian components for angular momentum l.
+#[inline]
+pub fn ncart(l: u8) -> usize {
+    let l = l as usize;
+    (l + 1) * (l + 2) / 2
+}
+
+/// Number of spherical functions for angular momentum l.
+#[inline]
+pub fn nsph(l: u8) -> usize {
+    2 * l as usize + 1
+}
+
+/// Effective transform matrix rows (nsph × ncart) for angular momentum `l`,
+/// including the per-component normalization factors. For s and p this is
+/// the identity.
+///
+/// Spherical order for d: m = −2 (xy), −1 (yz), 0 (3z²−r²), +1 (xz),
+/// +2 (x²−y²). Cartesian order: xx, xy, xz, yy, yz, zz.
+pub fn sph_matrix(l: u8) -> Vec<Vec<f64>> {
+    let s3 = 3f64.sqrt();
+    match l {
+        0 => vec![vec![1.0]],
+        1 => vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ],
+        2 => vec![
+            vec![0.0, s3, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0, s3, 0.0],
+            vec![-0.5, 0.0, 0.0, -0.5, 0.0, 1.0],
+            vec![0.0, 0.0, s3, 0.0, 0.0, 0.0],
+            vec![s3 / 2.0, 0.0, 0.0, -s3 / 2.0, 0.0, 0.0],
+        ],
+        _ => panic!("angular momentum l={l} not supported (s, p, d only)"),
+    }
+}
+
+/// Transform one axis of a dense row-major tensor.
+///
+/// `data` is interpreted as `[outer][ncart_axis][inner]`; the result is
+/// `[outer][nsph_axis][inner]`. For l < 2 the data is returned unchanged
+/// (identity transform), avoiding a copy in the common case.
+pub fn transform_axis(data: Vec<f64>, outer: usize, inner: usize, l: u8) -> Vec<f64> {
+    if l < 2 {
+        return data;
+    }
+    let nc = ncart(l);
+    let ns = nsph(l);
+    debug_assert_eq!(data.len(), outer * nc * inner);
+    let m = sph_matrix(l);
+    let mut out = vec![0.0; outer * ns * inner];
+    for o in 0..outer {
+        let src_base = o * nc * inner;
+        let dst_base = o * ns * inner;
+        for (mi, row) in m.iter().enumerate() {
+            let dst = dst_base + mi * inner;
+            for (ci, &coef) in row.iter().enumerate() {
+                if coef == 0.0 {
+                    continue;
+                }
+                let src = src_base + ci * inner;
+                for k in 0..inner {
+                    out[dst + k] += coef * data[src + k];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Transform all four axes of a Cartesian shell-quartet block
+/// `[ncart(a)][ncart(b)][ncart(c)][ncart(d)]` to spherical.
+pub fn transform_quartet(data: Vec<f64>, ls: [u8; 4]) -> Vec<f64> {
+    let [la, lb, lc, ld] = ls;
+    // Transform the last axis first so earlier strides stay valid.
+    let mut v = data;
+    v = transform_axis(v, ncart(la) * ncart(lb) * ncart(lc), 1, ld);
+    v = transform_axis(v, ncart(la) * ncart(lb), nsph(ld), lc);
+    v = transform_axis(v, ncart(la), nsph(lc) * nsph(ld), lb);
+    v = transform_axis(v, 1, nsph(lb) * nsph(lc) * nsph(ld), la);
+    v
+}
+
+/// Transform a Cartesian shell-pair block `[ncart(a)][ncart(b)]`.
+pub fn transform_pair(data: Vec<f64>, la: u8, lb: u8) -> Vec<f64> {
+    let v = transform_axis(data, ncart(la), 1, lb);
+    transform_axis(v, 1, nsph(lb), la)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        assert_eq!((ncart(0), nsph(0)), (1, 1));
+        assert_eq!((ncart(1), nsph(1)), (3, 3));
+        assert_eq!((ncart(2), nsph(2)), (6, 5));
+    }
+
+    #[test]
+    fn d_matrix_rows_are_orthonormal_under_cartesian_metric() {
+        // The metric of (l,0,0)-normalized cartesian d functions:
+        // <c|c'> = 1 on the diagonal for xx/yy/zz, 1/3 for xy/xz/yz
+        // (before per-component normalization), and 1/3 between distinct
+        // squares. The rows of sph_matrix(2) (which include the √3 factors)
+        // must be orthonormal under that metric.
+        let m = sph_matrix(2);
+        // metric[c][c'] in the raw (l00-normalized) cartesian basis.
+        let mut g = [[0.0f64; 6]; 6];
+        let squares = [0usize, 3, 5]; // xx, yy, zz
+        let crosses = [1usize, 2, 4]; // xy, xz, yz
+        for &i in &squares {
+            g[i][i] = 1.0;
+            for &j in &squares {
+                if i != j {
+                    g[i][j] = 1.0 / 3.0;
+                }
+            }
+        }
+        for &i in &crosses {
+            g[i][i] = 1.0 / 3.0;
+        }
+        for (r1, row1) in m.iter().enumerate() {
+            for (r2, row2) in m.iter().enumerate() {
+                let mut dot = 0.0;
+                for i in 0..6 {
+                    for j in 0..6 {
+                        dot += row1[i] * g[i][j] * row2[j];
+                    }
+                }
+                let want = if r1 == r2 { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-12, "rows {r1},{r2}: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_for_s_and_p() {
+        let data = vec![1.0, 2.0, 3.0];
+        let out = transform_axis(data.clone(), 1, 1, 1);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn axis_transform_shape() {
+        // outer=2, d axis (6 cart -> 5 sph), inner=3.
+        let data = vec![1.0; 2 * 6 * 3];
+        let out = transform_axis(data, 2, 3, 2);
+        assert_eq!(out.len(), 2 * 5 * 3);
+    }
+
+    #[test]
+    fn quartet_transform_shape() {
+        let ls = [2u8, 0, 1, 2];
+        let n = ncart(2) * ncart(0) * ncart(1) * ncart(2);
+        let out = transform_quartet(vec![0.5; n], ls);
+        assert_eq!(out.len(), nsph(2) * nsph(0) * nsph(1) * nsph(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn f_shells_unsupported() {
+        sph_matrix(3);
+    }
+}

@@ -1,0 +1,214 @@
+//! Cyclic Jacobi eigensolver for real symmetric matrices.
+//!
+//! Used by the SCF driver for S = U s Uᵀ (→ X = U s^{−1/2} Uᵀ) and for
+//! diagonalizing the transformed Fock matrix. Jacobi is O(n³) with a
+//! modest constant and bit-for-bit deterministic, which keeps the
+//! cross-algorithm correctness tests exact.
+
+use crate::matrix::Mat;
+
+/// Eigendecomposition of a symmetric matrix: `a = V · diag(w) · Vᵀ`,
+/// eigenvalues ascending, eigenvectors in the *columns* of `V`.
+pub struct SymEig {
+    pub values: Vec<f64>,
+    pub vectors: Mat,
+}
+
+/// Diagonalize the symmetric matrix `a` by the cyclic Jacobi method.
+/// Panics if `a` is not square; asymmetry is not checked (the strictly
+/// lower triangle is ignored by construction of the sweeps).
+pub fn sym_eig(a: &Mat) -> SymEig {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "sym_eig requires a square matrix");
+    let mut m = a.clone();
+    let mut v = Mat::identity(n);
+    if n <= 1 {
+        return finish(m, v);
+    }
+
+    const MAX_SWEEPS: usize = 64;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= 1e-14 * (1.0 + m_norm(&m)) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let (app, aqq) = (m[(p, p)], m[(q, q)]);
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable tangent of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                rotate(&mut m, &mut v, p, q, c, s);
+            }
+        }
+    }
+    finish(m, v)
+}
+
+fn m_norm(m: &Mat) -> f64 {
+    m.as_slice().iter().map(|x| x.abs()).fold(0.0, f64::max)
+}
+
+/// Apply the Jacobi rotation G(p,q,θ) from both sides of `m` and
+/// accumulate it into `v`.
+fn rotate(m: &mut Mat, v: &mut Mat, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.nrows();
+    for k in 0..n {
+        let (mkp, mkq) = (m[(k, p)], m[(k, q)]);
+        m[(k, p)] = c * mkp - s * mkq;
+        m[(k, q)] = s * mkp + c * mkq;
+    }
+    for k in 0..n {
+        let (mpk, mqk) = (m[(p, k)], m[(q, k)]);
+        m[(p, k)] = c * mpk - s * mqk;
+        m[(q, k)] = s * mpk + c * mqk;
+    }
+    for k in 0..n {
+        let (vkp, vkq) = (v[(k, p)], v[(k, q)]);
+        v[(k, p)] = c * vkp - s * vkq;
+        v[(k, q)] = s * vkp + c * vkq;
+    }
+}
+
+/// Extract eigenvalues, sort ascending, and permute eigenvector columns.
+fn finish(m: Mat, v: Mat) -> SymEig {
+    let n = m.nrows();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let vals: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    idx.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).unwrap());
+    let mut values = Vec::with_capacity(n);
+    let mut vectors = Mat::zeros(n, n);
+    for (new, &old) in idx.iter().enumerate() {
+        values.push(vals[old]);
+        for r in 0..n {
+            vectors[(r, new)] = v[(r, old)];
+        }
+    }
+    SymEig { values, vectors }
+}
+
+/// X = S^{−1/2} by eigendecomposition (symmetric orthogonalization,
+/// Algorithm 1 line 4). Panics if S has a non-positive eigenvalue
+/// beyond `lin_dep_tol` (linear dependence in the basis).
+pub fn inverse_sqrt(s: &Mat, lin_dep_tol: f64) -> Mat {
+    let eig = sym_eig(s);
+    let n = s.nrows();
+    assert!(
+        eig.values[0] > lin_dep_tol,
+        "overlap matrix is (near-)singular: smallest eigenvalue {}",
+        eig.values[0]
+    );
+    // X = U diag(1/sqrt(w)) Uᵀ.
+    let mut scaled = eig.vectors.clone();
+    for j in 0..n {
+        let f = 1.0 / eig.values[j].sqrt();
+        for i in 0..n {
+            scaled[(i, j)] *= f;
+        }
+    }
+    crate::gemm::gemm_nt(&scaled, &eig.vectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, gemm_tn};
+
+    fn random_sym(n: usize, seed: u64) -> Mat {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = next();
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        // [[2,1],[1,2]] has eigenvalues 1, 3.
+        let a = Mat::from_vec(2, 2, vec![2., 1., 1., 2.]);
+        let e = sym_eig(&a);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_random() {
+        for n in [1usize, 2, 5, 20, 40] {
+            let a = random_sym(n, 42 + n as u64);
+            let e = sym_eig(&a);
+            // A V = V diag(w)
+            let av = gemm(1.0, &a, &e.vectors, 0.0, None);
+            let mut vd = e.vectors.clone();
+            for j in 0..n {
+                for i in 0..n {
+                    vd[(i, j)] *= e.values[j];
+                }
+            }
+            assert!(av.max_abs_diff(&vd) < 1e-10, "n={n}: residual {}", av.max_abs_diff(&vd));
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = random_sym(15, 7);
+        let e = sym_eig(&a);
+        let vtv = gemm_tn(&e.vectors, &e.vectors);
+        assert!(vtv.max_abs_diff(&Mat::identity(15)) < 1e-12);
+    }
+
+    #[test]
+    fn eigenvalues_sorted() {
+        let a = random_sym(12, 9);
+        let e = sym_eig(&a);
+        assert!(e.values.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let a = random_sym(10, 3);
+        let e = sym_eig(&a);
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_sqrt_property() {
+        // Build an SPD matrix A = Bᵀ B + I and check (A^{-1/2})² A = I.
+        let b = random_sym(8, 11);
+        let mut a = gemm_tn(&b, &b);
+        a.axpy(1.0, &Mat::identity(8));
+        let x = inverse_sqrt(&a, 1e-10);
+        let xax = gemm(1.0, &gemm(1.0, &x, &a, 0.0, None), &x, 0.0, None);
+        assert!(xax.max_abs_diff(&Mat::identity(8)) < 1e-10);
+        // X must be symmetric.
+        assert!(x.asymmetry() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn singular_overlap_panics() {
+        let mut s = Mat::identity(3);
+        s[(2, 2)] = 0.0;
+        inverse_sqrt(&s, 1e-8);
+    }
+}

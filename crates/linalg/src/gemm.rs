@@ -1,0 +1,131 @@
+//! Blocked, rayon-parallel dense matrix multiply.
+
+use crate::matrix::Mat;
+use rayon::prelude::*;
+
+/// C = alpha·A·B + beta·C. When `c` is `None`, a zero matrix is used
+/// (and `beta` ignored). Returns the result.
+///
+/// The kernel is i-k-j loop order over row blocks (cache-friendly for
+/// row-major data) with rows parallelized across the rayon pool.
+pub fn gemm(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: Option<&Mat>) -> Mat {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
+    let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
+    let mut out = match c {
+        Some(c0) => {
+            assert_eq!((c0.nrows(), c0.ncols()), (m, n), "C shape mismatch");
+            let mut o = c0.clone();
+            o.scale(beta);
+            o
+        }
+        None => Mat::zeros(m, n),
+    };
+    let bs = b.as_slice();
+    let as_ = a.as_slice();
+    out.as_mut_slice()
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, crow)| {
+            let arow = &as_[i * k..(i + 1) * k];
+            for (kk, &aik) in arow.iter().enumerate() {
+                let v = alpha * aik;
+                if v == 0.0 {
+                    continue;
+                }
+                let brow = &bs[kk * n..(kk + 1) * n];
+                for (cj, &bkj) in crow.iter_mut().zip(brow) {
+                    *cj += v * bkj;
+                }
+            }
+        });
+    out
+}
+
+/// Convenience: Aᵀ·B.
+pub fn gemm_tn(a: &Mat, b: &Mat) -> Mat {
+    gemm(1.0, &a.transpose(), b, 0.0, None)
+}
+
+/// Convenience: A·Bᵀ.
+pub fn gemm_nt(a: &Mat, b: &Mat) -> Mat {
+    gemm(1.0, a, &b.transpose(), 0.0, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Mat, b: &Mat) -> Mat {
+        let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
+        let mut c = Mat::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a[(i, kk)] * b[(kk, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    fn random(m: usize, n: usize, seed: u64) -> Mat {
+        // Tiny deterministic LCG; no rand dependency needed here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        Mat::from_vec(m, n, (0..m * n).map(|_| next()).collect())
+    }
+
+    #[test]
+    fn matches_naive() {
+        let a = random(17, 9, 1);
+        let b = random(9, 23, 2);
+        let got = gemm(1.0, &a, &b, 0.0, None);
+        assert!(got.max_abs_diff(&naive(&a, &b)) < 1e-12);
+    }
+
+    #[test]
+    fn alpha_beta_semantics() {
+        let a = random(6, 6, 3);
+        let b = random(6, 6, 4);
+        let c = random(6, 6, 5);
+        let got = gemm(2.0, &a, &b, 0.5, Some(&c));
+        let mut want = naive(&a, &b);
+        want.scale(2.0);
+        let mut c2 = c.clone();
+        c2.scale(0.5);
+        want.axpy(1.0, &c2);
+        assert!(got.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = random(8, 8, 7);
+        let i = Mat::identity(8);
+        assert!(gemm(1.0, &a, &i, 0.0, None).max_abs_diff(&a) < 1e-14);
+        assert!(gemm(1.0, &i, &a, 0.0, None).max_abs_diff(&a) < 1e-14);
+    }
+
+    #[test]
+    fn transposed_helpers() {
+        let a = random(5, 7, 8);
+        let b = random(5, 6, 9);
+        let got = gemm_tn(&a, &b);
+        assert!(got.max_abs_diff(&naive(&a.transpose(), &b)) < 1e-12);
+        let c = random(6, 7, 10);
+        let got2 = gemm_nt(&a, &c);
+        assert!(got2.max_abs_diff(&naive(&a, &c.transpose())) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(4, 2);
+        gemm(1.0, &a, &b, 0.0, None);
+    }
+}

@@ -1,0 +1,21 @@
+//! Dense linear algebra for the SCF driver and the purification step.
+//!
+//! * [`matrix`] — a minimal row-major dense matrix,
+//! * [`eig`] — cyclic Jacobi eigensolver for symmetric matrices (used for
+//!   S → X = S^{−1/2} and Fock diagonalization, Algorithm 1 lines 3 and 8),
+//! * [`gemm`] — blocked, rayon-parallel matrix multiply,
+//! * [`purify`] — diagonalization-free density construction
+//!   (canonical Palser–Manolopoulos purification + McWeeny refinement),
+//!   the method the paper times in Table IX,
+//! * [`summa`] — the SUMMA distributed matrix multiply over the `distrt`
+//!   Global-Array layer, used by the purification timing experiment.
+
+pub mod eig;
+pub mod gemm;
+pub mod matrix;
+pub mod purify;
+pub mod solve;
+pub mod summa;
+
+pub use eig::sym_eig;
+pub use matrix::Mat;

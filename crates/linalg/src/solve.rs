@@ -1,0 +1,106 @@
+//! Dense linear solves (LU with partial pivoting) — used by the DIIS
+//! extrapolation in the SCF driver.
+
+use crate::matrix::Mat;
+
+/// Solve A·x = b by LU decomposition with partial pivoting.
+/// Returns `None` if A is (numerically) singular.
+pub fn solve(a: &Mat, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "solve requires a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let mut lu = a.clone();
+    let mut x: Vec<f64> = b.to_vec();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for col in 0..n {
+        // Pivot search.
+        let (piv, mag) = (col..n)
+            .map(|r| (r, lu[(r, col)].abs()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())?;
+        if mag < 1e-13 {
+            return None;
+        }
+        if piv != col {
+            for j in 0..n {
+                let t = lu[(col, j)];
+                lu[(col, j)] = lu[(piv, j)];
+                lu[(piv, j)] = t;
+            }
+            x.swap(col, piv);
+            perm.swap(col, piv);
+        }
+        for r in (col + 1)..n {
+            let f = lu[(r, col)] / lu[(col, col)];
+            lu[(r, col)] = f;
+            for j in (col + 1)..n {
+                let v = f * lu[(col, j)];
+                lu[(r, j)] -= v;
+            }
+            x[r] -= f * x[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        x[col] /= lu[(col, col)];
+        for r in 0..col {
+            let v = lu[(r, col)] * x[col];
+            x[r] -= v;
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm;
+
+    fn random(n: usize, seed: u64) -> Mat {
+        let mut s = seed.wrapping_add(3);
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        Mat::from_vec(n, n, (0..n * n).map(|_| next()).collect())
+    }
+
+    #[test]
+    fn solves_identity() {
+        let b = vec![1.0, -2.0, 3.5];
+        let x = solve(&Mat::identity(3), &b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn residual_small_random() {
+        for seed in 0..5u64 {
+            let n = 8;
+            let mut a = random(n, seed);
+            // Diagonally dominate to guarantee non-singularity.
+            for i in 0..n {
+                a[(i, i)] += 5.0;
+            }
+            let b: Vec<f64> = (0..n).map(|i| (i as f64) - 2.0).collect();
+            let x = solve(&a, &b).unwrap();
+            let ax = gemm(1.0, &a, &Mat::from_vec(n, 1, x), 0.0, None);
+            for i in 0..n {
+                assert!((ax[(i, 0)] - b[i]).abs() < 1e-10, "seed {seed} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Mat::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = solve(&a, &[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(solve(&a, &[1.0, 1.0]).is_none());
+    }
+}

@@ -1,0 +1,66 @@
+//! Cluster-scale strong scaling, simulated: GTFock vs the NWChem-style
+//! baseline on a graphene flake and a linear alkane, at the paper's core
+//! counts (12 … 3888).
+//!
+//! Per-quartet compute costs are calibrated from the real Rust integral
+//! engine; communication uses the Lonestar machine model (Table I). This
+//! reproduces the *shape* of the paper's Tables III/IV on a single host.
+//!
+//! Run with: `cargo run --release --example cluster_scaling [flake_n] [alkane_k]`
+
+use fock_repro::chem::reorder::ShellOrdering;
+use fock_repro::chem::shells::BasisInstance;
+use fock_repro::chem::{generators, BasisSetKind};
+use fock_repro::core::sim_exec::{GtfockSimModel, NwchemSimModel};
+use fock_repro::core::tasks::FockProblem;
+use fock_repro::distrt::MachineParams;
+use fock_repro::eri::CostModel;
+
+fn main() {
+    let flake_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let alkane_k: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let cores = [12usize, 48, 192, 768, 1728, 3888];
+    let machine = MachineParams::lonestar();
+
+    for molecule in [generators::graphene_flake(flake_n), generators::linear_alkane(alkane_k)] {
+        let name = molecule.formula();
+        println!("=== {name} / cc-pVDZ, τ = 1e-10 ===");
+        let basis = BasisInstance::new(molecule.clone(), BasisSetKind::CcPvdz).unwrap();
+        let cost = CostModel::calibrate(&basis, 3);
+        let prob =
+            FockProblem::new(molecule, BasisSetKind::CcPvdz, 1e-10, ShellOrdering::cells_default())
+                .unwrap();
+        println!(
+            "shells {}  functions {}  unique quartets {}",
+            prob.nshells(),
+            prob.nbf(),
+            prob.screening.unique_significant_quartets()
+        );
+        let gt = GtfockSimModel::new(&prob, &cost);
+        let nw = NwchemSimModel::new(&prob, &cost);
+        println!(
+            "{:>6} {:>12} {:>12} {:>10} {:>10} {:>8} {:>8}",
+            "cores", "GTFock(s)", "NWChem(s)", "GT-spdup", "NW-spdup", "GT-l", "NW-l"
+        );
+        let base_gt = gt.simulate(machine, cores[0], true);
+        let base_nw = nw.simulate(machine, cores[0], 5);
+        let base = base_gt.t_fock_max().min(base_nw.t_fock_max());
+        for &c in &cores {
+            let g = gt.simulate(machine, c, true);
+            let w = nw.simulate(machine, c, 5);
+            // Speedup convention of Table IV: relative to the fastest
+            // 12-core time, scaled so 12 cores ⇒ speedup 12.
+            println!(
+                "{:>6} {:>12.3} {:>12.3} {:>10.1} {:>10.1} {:>8.3} {:>8.3}",
+                c,
+                g.t_fock_max(),
+                w.t_fock_max(),
+                cores[0] as f64 * base / g.t_fock_max(),
+                cores[0] as f64 * base / w.t_fock_max(),
+                g.load_balance(),
+                w.load_balance()
+            );
+        }
+        println!();
+    }
+}

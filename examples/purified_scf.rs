@@ -1,0 +1,73 @@
+//! SCF with diagonalization-free density construction (canonical
+//! purification, Section IV-E of the paper) on a small alkane, and a
+//! SUMMA demonstration of the purification matrix multiplies over the
+//! distributed-array layer.
+//!
+//! Run with: `cargo run --release --example purified_scf [alkane_k]`
+
+use fock_repro::chem::{generators, BasisSetKind};
+use fock_repro::core::scf::{run_scf, DensityMethod, ScfConfig};
+use fock_repro::distrt::{GlobalArray, ProcessGrid};
+use fock_repro::linalg::purify::purify_canonical;
+use fock_repro::linalg::summa::summa;
+use fock_repro::linalg::Mat;
+
+fn main() {
+    let k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let molecule = generators::linear_alkane(k);
+    println!("molecule: {molecule}\n");
+
+    println!("== SCF with eigensolver ==");
+    let diag = run_scf(molecule.clone(), BasisSetKind::Sto3g, ScfConfig::default()).unwrap();
+    println!(
+        "E = {:.8} Ha in {} iterations (converged: {})",
+        diag.energy, diag.iterations, diag.converged
+    );
+
+    println!("\n== SCF with canonical purification ==");
+    let cfg = ScfConfig { density: DensityMethod::Purification, ..ScfConfig::default() };
+    let pur = run_scf(molecule.clone(), BasisSetKind::Sto3g, cfg).unwrap();
+    println!(
+        "E = {:.8} Ha in {} iterations (converged: {})",
+        pur.energy, pur.iterations, pur.converged
+    );
+    println!("ΔE(diag vs purification) = {:.2e} Ha", (diag.energy - pur.energy).abs());
+
+    // Purification of the final Fock matrix, instrumented.
+    let nocc = molecule.nocc();
+    let p = purify_canonical(&to_ortho(&pur), nocc, 1e-13, 200);
+    println!(
+        "\npurification of the final Fock matrix: {} iterations, idempotency error {:.2e}",
+        p.iterations, p.idempotency_error
+    );
+    println!("(the paper observed ≈45 iterations on its first-iteration test)");
+
+    // The two matrix multiplies per purification iteration, on the
+    // distributed-array layer with SUMMA — no redistribution needed after
+    // Fock construction, as the paper notes.
+    let n = p.density.nrows();
+    let grid = ProcessGrid::new(2, 2);
+    let d = GlobalArray::from_dense(grid, n, n, p.density.as_slice());
+    let d2 = GlobalArray::zeros(grid, n, n);
+    summa(&d, &d, &d2, 8);
+    let total = d.stats_total();
+    println!("\nSUMMA D·D on a {}x{} grid:", grid.prow, grid.pcol);
+    println!(
+        "  per-process avg: {:.3} MB moved in {} one-sided calls",
+        total.total_bytes() as f64 / 1e6 / 4.0,
+        total.total_calls() / 4
+    );
+    let dd = Mat::from_vec(n, n, d2.to_dense());
+    println!("  ‖D² − D‖_max = {:.2e} (idempotent at convergence)", dd.max_abs_diff(&p.density));
+}
+
+/// F' = Xᵀ F X for the run's final Fock matrix.
+fn to_ortho(r: &fock_repro::core::scf::ScfResult) -> Mat {
+    use fock_repro::eri::oneints::overlap_matrix;
+    use fock_repro::linalg::eig::inverse_sqrt;
+    use fock_repro::linalg::gemm::{gemm, gemm_tn};
+    let nbf = r.problem.nbf();
+    let s = Mat::from_vec(nbf, nbf, overlap_matrix(&r.problem.basis));
+    let x = inverse_sqrt(&s, 1e-10);
+    gemm(1.0, &gemm_tn(&x, &r.fock), &x, 0.0, None)
+}

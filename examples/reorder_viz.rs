@@ -1,0 +1,73 @@
+//! Visualize what the spatial shell reordering (Section III-D) does to the
+//! density-matrix access pattern of a task — an ASCII rendition of the
+//! paper's Figure 1.
+//!
+//! For a chosen task (M,:|N,:) we mark every shell pair of D the task
+//! reads. With the cell ordering, the marks cluster into near-contiguous
+//! bands; with a scrambled ordering they scatter.
+//!
+//! Run with: `cargo run --release --example reorder_viz [alkane_k]`
+
+use fock_repro::chem::reorder::ShellOrdering;
+use fock_repro::chem::{generators, BasisSetKind};
+use fock_repro::core::tasks::FockProblem;
+
+fn render(prob: &FockProblem, m: usize, n: usize, label: &str) {
+    let ns = prob.nshells();
+    let cell = (ns + 59) / 60; // downsample to ≤60x60 characters
+    let grid_dim = ns.div_ceil(cell);
+    let mut marks = vec![false; grid_dim * grid_dim];
+    let mut count = 0usize;
+
+    // D blocks read by task (M,:|N,:): (M,Φ(M)), (N,Φ(N)), (Φ(M),Φ(N)).
+    let mut mark = |a: usize, b: usize| {
+        marks[(a / cell) * grid_dim + b / cell] = true;
+    };
+    for &p in prob.phi(m) {
+        mark(m, p as usize);
+        count += 1;
+    }
+    for &q in prob.phi(n) {
+        mark(n, q as usize);
+        count += 1;
+    }
+    for &p in prob.phi(m) {
+        for &q in prob.phi(n) {
+            mark(p as usize, q as usize);
+            count += 1;
+        }
+    }
+
+    println!("--- {label}: D shell-blocks read by task ({m},:|{n},:) — {count} block reads ---");
+    for r in 0..grid_dim {
+        let row: String = (0..grid_dim)
+            .map(|c| if marks[r * grid_dim + c] { '#' } else { '·' })
+            .collect();
+        println!("{row}");
+    }
+    println!();
+}
+
+fn main() {
+    let k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let molecule = generators::linear_alkane(k);
+    println!("molecule: {}\n", molecule.formula());
+
+    let ordered = FockProblem::new(
+        molecule.clone(),
+        BasisSetKind::Sto3g,
+        1e-10,
+        ShellOrdering::Cells { cell: 8.0 },
+    )
+    .unwrap();
+    let natural = FockProblem::new(molecule, BasisSetKind::Sto3g, 1e-10, ShellOrdering::Natural)
+        .unwrap();
+
+    let ns = ordered.nshells();
+    let (m, n) = (ns / 4, ns / 2);
+    render(&ordered, m, n, "cell (spatial) ordering");
+    render(&natural, m, n, "natural (atom-input) ordering");
+
+    println!("With the spatial ordering the significant sets Φ(M) are index-contiguous,");
+    println!("so the blocks a task prefetches form compact bands (fewer, larger GA calls).");
+}

@@ -1,0 +1,39 @@
+//! # fock-repro
+//!
+//! A full-system reproduction of *"A New Scalable Parallel Algorithm for
+//! Fock Matrix Construction"* (Liu, Patel, Chow — IPDPS 2014, the GTFock
+//! paper), built from scratch in Rust:
+//!
+//! * [`chem`] — molecules, the paper's test-molecule generators (graphene
+//!   flakes, linear alkanes), and Gaussian basis sets (STO-3G, cc-pVDZ);
+//! * [`eri`] — a pure-Rust McMurchie–Davidson integral engine with
+//!   Cauchy–Schwarz screening and a calibrated per-quartet cost model;
+//! * [`linalg`] — Jacobi eigensolver, GEMM, canonical purification, SUMMA;
+//! * [`distrt`] — the simulated distributed runtime: process grids, a
+//!   Global-Arrays-like one-sided layer with communication accounting, and
+//!   a discrete-event cluster simulator;
+//! * [`core`] (crate `fock-core`) — the paper's algorithm (static
+//!   partitioning + prefetch + work stealing), the NWChem-style baseline,
+//!   the SCF driver, the Section III-G performance model, and cluster-scale
+//!   simulated executions.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fock_repro::core::scf::{run_scf, ScfConfig};
+//! use fock_repro::chem::{generators, BasisSetKind};
+//!
+//! let result = run_scf(generators::hydrogen(1.4), BasisSetKind::Sto3g,
+//!                      ScfConfig::default()).unwrap();
+//! assert!(result.converged);
+//! assert!((result.energy - (-1.1167)).abs() < 2e-3);
+//! ```
+//!
+//! See `examples/` for runnable demonstrations and `crates/bench` for the
+//! harness that regenerates every table and figure of the paper.
+
+pub use chem;
+pub use distrt;
+pub use eri;
+pub use fock_core as core;
+pub use linalg;

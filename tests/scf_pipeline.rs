@@ -1,0 +1,74 @@
+//! End-to-end SCF integration across crates: energies against literature
+//! values, parallel-builder equivalence inside a full SCF loop, and
+//! purification-vs-diagonalization agreement.
+
+use fock_repro::chem::reorder::ShellOrdering;
+use fock_repro::chem::{generators, BasisSetKind};
+use fock_repro::core::gtfock::GtfockConfig;
+use fock_repro::core::nwchem::NwchemConfig;
+use fock_repro::core::scf::{run_scf, DensityMethod, FockBuilder, ScfConfig};
+use fock_repro::distrt::ProcessGrid;
+
+#[test]
+fn methane_sto3g_reference_energy() {
+    // RHF/STO-3G methane at r(CH) = 1.09 Å ≈ −39.72 Ha.
+    let r = run_scf(generators::methane(), BasisSetKind::Sto3g, ScfConfig::default()).unwrap();
+    assert!(r.converged, "not converged in {} iterations", r.iterations);
+    assert!((r.energy - (-39.72)).abs() < 5e-2, "E = {}", r.energy);
+}
+
+#[test]
+fn water_full_pipeline_gtfock_builder() {
+    let cfg = ScfConfig {
+        builder: FockBuilder::Gtfock(GtfockConfig { grid: ProcessGrid::new(2, 2), steal: true }),
+        ordering: ShellOrdering::cells_default(),
+        ..ScfConfig::default()
+    };
+    let par = run_scf(generators::water(), BasisSetKind::Sto3g, cfg).unwrap();
+    let seq = run_scf(generators::water(), BasisSetKind::Sto3g, ScfConfig::default()).unwrap();
+    assert!(par.converged && seq.converged);
+    assert!((par.energy - seq.energy).abs() < 1e-9, "{} vs {}", par.energy, seq.energy);
+}
+
+#[test]
+fn water_full_pipeline_nwchem_builder_with_purification() {
+    let cfg = ScfConfig {
+        builder: FockBuilder::Nwchem(NwchemConfig { nprocs: 3, chunk: 4 }),
+        density: DensityMethod::Purification,
+        ..ScfConfig::default()
+    };
+    let r = run_scf(generators::water(), BasisSetKind::Sto3g, cfg).unwrap();
+    assert!(r.converged);
+    assert!((r.energy - (-74.96)).abs() < 2e-2, "E = {}", r.energy);
+}
+
+#[test]
+fn hydrogen_dissociation_curve_is_sane() {
+    // E(R) should have a minimum near R ≈ 1.35–1.45 a0 for STO-3G H2.
+    let energies: Vec<f64> = [1.0, 1.4, 2.5]
+        .iter()
+        .map(|&r| {
+            run_scf(generators::hydrogen(r), BasisSetKind::Sto3g, ScfConfig::default())
+                .unwrap()
+                .energy
+        })
+        .collect();
+    assert!(energies[1] < energies[0], "1.4 should beat 1.0: {energies:?}");
+    assert!(energies[1] < energies[2], "1.4 should beat 2.5: {energies:?}");
+}
+
+#[test]
+fn density_idempotency_in_overlap_metric() {
+    // Final SCF density must satisfy D S D = D (projector in S metric).
+    use fock_repro::eri::oneints::overlap_matrix;
+    use fock_repro::linalg::gemm::gemm;
+    use fock_repro::linalg::Mat;
+    let r = run_scf(generators::water(), BasisSetKind::Sto3g, ScfConfig::default()).unwrap();
+    let nbf = r.problem.nbf();
+    let s = Mat::from_vec(nbf, nbf, overlap_matrix(&r.problem.basis));
+    let dsd = gemm(1.0, &gemm(1.0, &r.density, &s, 0.0, None), &r.density, 0.0, None);
+    assert!(dsd.max_abs_diff(&r.density) < 1e-6, "DSD != D: {}", dsd.max_abs_diff(&r.density));
+    // Trace of D·S = number of occupied orbitals.
+    let ds = gemm(1.0, &r.density, &s, 0.0, None);
+    assert!((ds.trace() - 5.0).abs() < 1e-8, "tr(DS) = {}", ds.trace());
+}

@@ -1,0 +1,107 @@
+//! Integration tests of the cluster-scale simulation: the qualitative
+//! claims of the paper's evaluation must hold on small workloads —
+//! strong scaling, GTFock's communication advantage, near-perfect load
+//! balance, and the alkane-vs-flake screening contrast.
+
+use fock_repro::chem::reorder::ShellOrdering;
+use fock_repro::chem::shells::BasisInstance;
+use fock_repro::chem::{generators, BasisSetKind};
+use fock_repro::core::sim_exec::{GtfockSimModel, NwchemSimModel};
+use fock_repro::core::tasks::FockProblem;
+use fock_repro::distrt::MachineParams;
+use fock_repro::eri::CostModel;
+
+fn workload(mol: fock_repro::chem::Molecule) -> (FockProblem, CostModel) {
+    let basis = BasisInstance::new(mol.clone(), BasisSetKind::Sto3g).unwrap();
+    let cost = CostModel::calibrate(&basis, 1);
+    let prob =
+        FockProblem::new(mol, BasisSetKind::Sto3g, 1e-10, ShellOrdering::cells_default()).unwrap();
+    (prob, cost)
+}
+
+#[test]
+fn strong_scaling_monotone_for_both_algorithms() {
+    let (prob, cost) = workload(generators::graphene_flake(2));
+    let machine = MachineParams::lonestar();
+    let gt = GtfockSimModel::new(&prob, &cost);
+    let nw = NwchemSimModel::new(&prob, &cost);
+    let mut prev_gt = f64::INFINITY;
+    let mut prev_nw = f64::INFINITY;
+    for cores in [12usize, 48, 192, 768] {
+        let g = gt.simulate(machine, cores, true).t_fock_max();
+        let n = nw.simulate(machine, cores, 5).t_fock_max();
+        assert!(g < prev_gt, "GTFock no speedup at {cores}: {g} !< {prev_gt}");
+        assert!(n < prev_nw * 1.05, "NWChem regressed at {cores}: {n} vs {prev_nw}");
+        prev_gt = g;
+        prev_nw = n;
+    }
+}
+
+#[test]
+fn gtfock_overhead_lower_at_scale() {
+    // Figure 2's headline: GTFock's parallel overhead is well below the
+    // baseline's at large core counts.
+    let (prob, cost) = workload(generators::linear_alkane(10));
+    let machine = MachineParams::lonestar();
+    let gt = GtfockSimModel::new(&prob, &cost);
+    let nw = NwchemSimModel::new(&prob, &cost);
+    let g = gt.simulate(machine, 768, true);
+    let n = nw.simulate(machine, 768, 5);
+    assert!(
+        g.t_ov_avg() < n.t_ov_avg(),
+        "GTFock overhead {} !< baseline {}",
+        g.t_ov_avg(),
+        n.t_ov_avg()
+    );
+}
+
+#[test]
+fn gtfock_fewer_calls_and_bytes() {
+    let (prob, cost) = workload(generators::graphene_flake(2));
+    let machine = MachineParams::lonestar();
+    let g = GtfockSimModel::new(&prob, &cost).simulate(machine, 192, true);
+    let n = NwchemSimModel::new(&prob, &cost).simulate(machine, 192, 5);
+    assert!(g.avg_calls() < n.avg_calls(), "calls {} !< {}", g.avg_calls(), n.avg_calls());
+}
+
+#[test]
+fn load_balance_near_one_with_stealing() {
+    let (prob, cost) = workload(generators::linear_alkane(12));
+    let machine = MachineParams::lonestar();
+    let model = GtfockSimModel::new(&prob, &cost);
+    for cores in [48usize, 192] {
+        let l = model.simulate(machine, cores, true).load_balance();
+        assert!(l < 1.3, "poor balance at {cores} cores: l = {l}");
+    }
+}
+
+#[test]
+fn alkane_screens_far_more_than_flake() {
+    // Table II's structural contrast, via the simulation models' quartet
+    // totals per shell⁴ volume.
+    let (flake, fc) = workload(generators::graphene_flake(2));
+    let (chain, cc) = workload(generators::linear_alkane(14));
+    let qf = GtfockSimModel::new(&flake, &fc).total_quartets() as f64
+        / (flake.nshells() as f64).powi(4);
+    let qc = GtfockSimModel::new(&chain, &cc).total_quartets() as f64
+        / (chain.nshells() as f64).powi(4);
+    assert!(qc < qf, "chain fraction {qc} !< flake fraction {qf}");
+}
+
+#[test]
+fn work_conserved_across_core_counts() {
+    let (prob, cost) = workload(generators::graphene_flake(1));
+    let machine = MachineParams::lonestar();
+    let model = GtfockSimModel::new(&prob, &cost);
+    let totals: Vec<f64> = [12usize, 96, 384]
+        .iter()
+        .map(|&c| {
+            let r = model.simulate(machine, c, true);
+            let threads = machine.cores_per_node.min(c) as f64;
+            r.per_process.iter().map(|p| p.t_comp).sum::<f64>() * threads
+        })
+        .collect();
+    for w in totals.windows(2) {
+        assert!((w[0] - w[1]).abs() < 1e-9 * w[0].max(1e-12), "work not conserved: {totals:?}");
+    }
+}
