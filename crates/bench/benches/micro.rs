@@ -53,10 +53,18 @@ fn bench_eri_classes(c: &mut Criterion) {
     group.bench_function("ssss_deep(9999prim)", |b| {
         b.iter(|| eng.quartet(&s9, &s9, &s9, &s9, &mut out))
     });
-    group.bench_function("ssss_shallow", |b| b.iter(|| eng.quartet(&s1, &s1, &s1, &s1, &mut out)));
-    group.bench_function("pppp", |b| b.iter(|| eng.quartet(&p4, &p4, &p4, &p4, &mut out)));
-    group.bench_function("dddd", |b| b.iter(|| eng.quartet(&d1, &d1, &d1, &d1, &mut out)));
-    group.bench_function("dsds", |b| b.iter(|| eng.quartet(&d1, &s1, &d1, &s1, &mut out)));
+    group.bench_function("ssss_shallow", |b| {
+        b.iter(|| eng.quartet(&s1, &s1, &s1, &s1, &mut out))
+    });
+    group.bench_function("pppp", |b| {
+        b.iter(|| eng.quartet(&p4, &p4, &p4, &p4, &mut out))
+    });
+    group.bench_function("dddd", |b| {
+        b.iter(|| eng.quartet(&d1, &d1, &d1, &d1, &mut out))
+    });
+    group.bench_function("dsds", |b| {
+        b.iter(|| eng.quartet(&d1, &s1, &d1, &s1, &mut out))
+    });
     group.finish();
 }
 
@@ -77,7 +85,9 @@ fn bench_fock_build(c: &mut Criterion) {
     .unwrap();
     let nbf = prob.nbf();
     let d = vec![0.1; nbf * nbf];
-    c.bench_function("fock_seq_water_sto3g", |b| b.iter(|| build_g_seq(&prob, &d)));
+    c.bench_function("fock_seq_water_sto3g", |b| {
+        b.iter(|| build_g_seq(&prob, &d))
+    });
 }
 
 fn bench_linalg(c: &mut Criterion) {
@@ -91,7 +101,9 @@ fn bench_linalg(c: &mut Criterion) {
     }
     c.bench_function("gemm_96", |b| b.iter(|| gemm(1.0, &m, &m, 0.0, None)));
     c.bench_function("jacobi_eig_96", |b| b.iter(|| sym_eig(&m)));
-    c.bench_function("purify_96_nocc12", |b| b.iter(|| purify_canonical(&m, 12, 1e-10, 100)));
+    c.bench_function("purify_96_nocc12", |b| {
+        b.iter(|| purify_canonical(&m, 12, 1e-10, 100))
+    });
 }
 
 criterion_group! {

@@ -13,7 +13,10 @@ use fock_core::sim_exec::NwchemSimModel;
 fn main() {
     let full = flag_full();
     let tau = opt_tau();
-    banner("Ablation: baseline task granularity (atom quartets per task)", full);
+    banner(
+        "Ablation: baseline task granularity (atom quartets per task)",
+        full,
+    );
     let machine = MachineParams::lonestar();
     let cores = if full { 1728 } else { 192 };
     let molecule = test_molecules(full).remove(2); // the long alkane

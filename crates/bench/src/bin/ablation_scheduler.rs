@@ -13,7 +13,10 @@ use fock_core::sim_exec::{GtfockSimModel, StealConfig, VictimPolicy};
 fn main() {
     let full = flag_full();
     let tau = opt_tau();
-    banner("Ablation: work-stealing victim policy and granularity", full);
+    banner(
+        "Ablation: work-stealing victim policy and granularity",
+        full,
+    );
     let machine = MachineParams::lonestar();
     let cores = if full { 3888 } else { 384 };
     let molecule = test_molecules(full).remove(3); // longest alkane
@@ -31,19 +34,35 @@ fn main() {
         ("row-scan (paper)", StealConfig::paper()),
         (
             "row-scan",
-            StealConfig { enabled: true, policy: VictimPolicy::RowScan, fraction: 0.25 },
+            StealConfig {
+                enabled: true,
+                policy: VictimPolicy::RowScan,
+                fraction: 0.25,
+            },
         ),
         (
             "row-scan",
-            StealConfig { enabled: true, policy: VictimPolicy::RowScan, fraction: 1.0 },
+            StealConfig {
+                enabled: true,
+                policy: VictimPolicy::RowScan,
+                fraction: 1.0,
+            },
         ),
         (
             "random",
-            StealConfig { enabled: true, policy: VictimPolicy::Random { seed: 42 }, fraction: 0.5 },
+            StealConfig {
+                enabled: true,
+                policy: VictimPolicy::Random { seed: 42 },
+                fraction: 0.5,
+            },
         ),
         (
             "max-queue (oracle)",
-            StealConfig { enabled: true, policy: VictimPolicy::MaxQueue, fraction: 0.5 },
+            StealConfig {
+                enabled: true,
+                policy: VictimPolicy::MaxQueue,
+                fraction: 0.5,
+            },
         ),
     ];
     for (name, cfg) in configs {
@@ -52,7 +71,11 @@ fn main() {
         println!(
             "{:<22} {:>10} {:>12.3} {:>8.3} {:>10} {:>10.1}",
             name,
-            if cfg.enabled { format!("{:.2}", cfg.fraction) } else { "—".into() },
+            if cfg.enabled {
+                format!("{:.2}", cfg.fraction)
+            } else {
+                "—".into()
+            },
             r.t_fock_max(),
             r.load_balance(),
             steals,

@@ -18,7 +18,10 @@ use fock_core::sim_exec::GtfockSimModel;
 fn main() {
     let full = flag_full();
     let tau = opt_tau();
-    banner("Extension: dimensionality sweep (1-D chain → 3-D cluster)", full);
+    banner(
+        "Extension: dimensionality sweep (1-D chain → 3-D cluster)",
+        full,
+    );
     let machine = MachineParams::lonestar();
     let cores = if full { 3888 } else { 768 };
 
@@ -52,8 +55,7 @@ fn main() {
         let b = w.prob.screening.avg_phi();
         let a = w.prob.nbf() as f64 / w.prob.nshells() as f64;
         let t_int = model.total_cost() / (model.total_quartets() as f64 * a.powi(4));
-        let params =
-            ModelParams::from_problem(&w.prob, t_int, machine.bandwidth, r.avg_victims());
+        let params = ModelParams::from_problem(&w.prob, t_int, machine.bandwidth, r.avg_victims());
         let nodes = (cores / machine.cores_per_node).max(1) as f64;
         println!(
             "{:<18} {:<10} {:>7} {:>8.1} {:>8.3} {:>9.2e} {:>11.2} {:>8.4} {:>8.0}×",

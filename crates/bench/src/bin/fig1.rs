@@ -29,7 +29,12 @@ fn region_elements(
     strips_only: bool,
 ) -> u64 {
     let n = prob.nshells();
-    let funcs: Vec<u64> = prob.basis.shells.iter().map(|s| s.nfuncs() as u64).collect();
+    let funcs: Vec<u64> = prob
+        .basis
+        .shells
+        .iter()
+        .map(|s| s.nfuncs() as u64)
+        .collect();
     let mut marked = vec![false; n * n];
     let mark = |a: usize, b: usize, marked: &mut Vec<bool>| {
         marked[a * n + b] = true;
@@ -83,9 +88,8 @@ fn region_elements(
         for r in 0..dim {
             let line: String = (0..dim)
                 .map(|c| {
-                    let any = (r * cell..((r + 1) * cell).min(n)).any(|a| {
-                        (c * cell..((c + 1) * cell).min(n)).any(|b| marked[a * n + b])
-                    });
+                    let any = (r * cell..((r + 1) * cell).min(n))
+                        .any(|a| (c * cell..((c + 1) * cell).min(n)).any(|b| marked[a * n + b]));
                     if any {
                         '#'
                     } else {
@@ -102,11 +106,23 @@ fn region_elements(
 fn main() {
     let full = flag_full();
     let tau = opt_tau();
-    banner("Figure 1: D elements required by one task vs a 50×50 task block", full);
-    let molecule = if full { generators::linear_alkane(100) } else { generators::linear_alkane(20) };
+    banner(
+        "Figure 1: D elements required by one task vs a 50×50 task block",
+        full,
+    );
+    let molecule = if full {
+        generators::linear_alkane(100)
+    } else {
+        generators::linear_alkane(20)
+    };
     eprintln!("preparing {} …", molecule.formula());
-    let prob = FockProblem::new(molecule, BasisSetKind::CcPvdz, tau, ShellOrdering::cells_default())
-        .unwrap();
+    let prob = FockProblem::new(
+        molecule,
+        BasisSetKind::CcPvdz,
+        tau,
+        ShellOrdering::cells_default(),
+    )
+    .unwrap();
     let n = prob.nshells();
     // Paper indices (shell 300, 600, block +50) scaled to the problem size.
     let scale = n as f64 / 1206.0;
@@ -117,7 +133,12 @@ fn main() {
     let single = region_elements(&prob, m0..m0 + 1, n0..n0 + 1, true, true);
     println!("nz = {single}   (paper, full scale: 1055)\n");
 
-    println!("(b) task block ({m0}:{},:|{n0}:{},:)  — {} tasks", m0 + blk, n0 + blk, blk * blk);
+    println!(
+        "(b) task block ({m0}:{},:|{n0}:{},:)  — {} tasks",
+        m0 + blk,
+        n0 + blk,
+        blk * blk
+    );
     let block = region_elements(&prob, m0..m0 + blk, n0..n0 + blk, true, true);
     println!("nz = {block}\n");
 

@@ -42,8 +42,16 @@ fn main() {
         }
         let g = gt.simulate(machine, *cores.last().unwrap(), true);
         let n = nw.simulate(machine, *cores.last().unwrap(), 5);
-        let ratio = if g.t_ov_avg() > 0.0 { n.t_ov_avg() / g.t_ov_avg() } else { f64::INFINITY };
-        println!("# overhead ratio NW/GT at {} cores: {:.1}×\n", cores.last().unwrap(), ratio);
+        let ratio = if g.t_ov_avg() > 0.0 {
+            n.t_ov_avg() / g.t_ov_avg()
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "# overhead ratio NW/GT at {} cores: {:.1}×\n",
+            cores.last().unwrap(),
+            ratio
+        );
     }
     println!("expected shape (paper): comparable T_comp; GTFock's T_ov about an order of");
     println!("magnitude lower; baseline overhead approaches/exceeds its T_comp at scale on");

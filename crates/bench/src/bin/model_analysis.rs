@@ -30,10 +30,19 @@ fn main() {
     let params = ModelParams::from_problem(&w.prob, t_int, machine.bandwidth, s);
 
     println!("{name}: model parameters");
-    println!("  t_int = {:.3} µs   A = {:.2}   B = {:.1}   q = {:.1}   s = {:.2}",
-             params.t_int * 1e6, params.a_funcs, params.b_phi, params.q_overlap, params.s_steals);
+    println!(
+        "  t_int = {:.3} µs   A = {:.2}   B = {:.1}   q = {:.1}   s = {:.2}",
+        params.t_int * 1e6,
+        params.a_funcs,
+        params.b_phi,
+        params.q_overlap,
+        params.s_steals
+    );
     println!();
-    println!("{:>8} {:>14} {:>14} {:>10}", "p(nodes)", "T_comp(s)", "T_comm(s)", "L(p)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "p(nodes)", "T_comp(s)", "T_comm(s)", "L(p)"
+    );
     for &p in &[1.0f64, 4.0, 16.0, 64.0, 324.0, 1024.0, 4096.0] {
         println!(
             "{:>8} {:>14.3} {:>14.4} {:>10.4}",

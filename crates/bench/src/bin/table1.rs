@@ -17,9 +17,21 @@ fn main() {
     println!();
     println!("Simulator machine model derived from the above:");
     println!("{:<34} {:>12}", "cores per node", m.cores_per_node);
-    println!("{:<34} {:>9.1} GB/s", "interconnect bandwidth", m.bandwidth / 1e9);
-    println!("{:<34} {:>9.1} µs", "one-sided latency (assumed)", m.latency * 1e6);
-    println!("{:<34} {:>9.1} µs", "atomic queue op (assumed)", m.atomic_op * 1e6);
+    println!(
+        "{:<34} {:>9.1} GB/s",
+        "interconnect bandwidth",
+        m.bandwidth / 1e9
+    );
+    println!(
+        "{:<34} {:>9.1} µs",
+        "one-sided latency (assumed)",
+        m.latency * 1e6
+    );
+    println!(
+        "{:<34} {:>9.1} µs",
+        "atomic queue op (assumed)",
+        m.atomic_op * 1e6
+    );
     println!();
     println!("Note: bandwidth and core counts are the paper's Table I values; latency");
     println!("and atomic-op costs are not published and use typical QDR InfiniBand figures.");

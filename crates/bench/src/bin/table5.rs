@@ -32,9 +32,13 @@ fn main() {
         let natoms = molecule.natoms();
         let basis = BasisInstance::new(molecule.clone(), BasisSetKind::CcPvdz).unwrap();
         let cost = CostModel::calibrate(&basis, 3);
-        let prob =
-            FockProblem::new(molecule, BasisSetKind::CcPvdz, tau, ShellOrdering::cells_default())
-                .unwrap();
+        let prob = FockProblem::new(
+            molecule,
+            BasisSetKind::CcPvdz,
+            tau,
+            ShellOrdering::cells_default(),
+        )
+        .unwrap();
 
         // Time a deterministic systematic sample of the unique significant
         // quartets (computing all ~10⁸ of them serially would take hours;

@@ -10,7 +10,10 @@ use fock_core::sim_exec::{GtfockSimModel, NwchemSimModel};
 fn main() {
     let full = flag_full();
     let tau = opt_tau();
-    banner("Tables VI & VII: communication volume and call counts", full);
+    banner(
+        "Tables VI & VII: communication volume and call counts",
+        full,
+    );
     let machine = MachineParams::lonestar();
     let cores = core_counts(full);
     let workloads = prepare_all(full, tau);
@@ -32,13 +35,20 @@ fn main() {
                 (g.avg_mbytes(), n.avg_mbytes(), g.avg_calls(), n.avg_calls())
             })
             .collect();
-        rows.push(Row { name: w.name.clone(), data });
+        rows.push(Row {
+            name: w.name.clone(),
+            data,
+        });
     }
 
     println!("Table VI: average communication volume (MB) per process");
     print!("{:>6}", "Cores");
     for r in &rows {
-        print!(" {:>11} {:>11}", format!("{}-GT", r.name), format!("{}-NW", r.name));
+        print!(
+            " {:>11} {:>11}",
+            format!("{}-GT", r.name),
+            format!("{}-NW", r.name)
+        );
     }
     println!();
     for (ci, &c) in cores.iter().enumerate() {
@@ -53,7 +63,11 @@ fn main() {
     println!("Table VII: average number of one-sided calls per process");
     print!("{:>6}", "Cores");
     for r in &rows {
-        print!(" {:>11} {:>11}", format!("{}-GT", r.name), format!("{}-NW", r.name));
+        print!(
+            " {:>11} {:>11}",
+            format!("{}-GT", r.name),
+            format!("{}-NW", r.name)
+        );
     }
     println!();
     for (ci, &c) in cores.iter().enumerate() {

@@ -32,7 +32,10 @@ fn measure_gemm_rate() -> f64 {
 fn main() {
     let full = flag_full();
     let tau = opt_tau();
-    banner("Table IX: percentage of HF iteration spent in purification", full);
+    banner(
+        "Table IX: percentage of HF iteration spent in purification",
+        full,
+    );
     let machine = MachineParams::lonestar();
     let molecule = test_molecules(full).remove(1); // C150H30 (or scaled C54H18)
     eprintln!("preparing {} …", molecule.formula());
@@ -45,9 +48,7 @@ fn main() {
     let purf_iters = 45.0;
     let node_flops = 160e9; // Table I
     let _local = measure_gemm_rate(); // sanity: host rate exists & is finite
-    println!(
-        "molecule {name}: nbf = {nbf}, purification iterations = {purf_iters}\n"
-    );
+    println!("molecule {name}: nbf = {nbf}, purification iterations = {purf_iters}\n");
 
     // Effective GEMM efficiency: production GA-based SUMMA runs well below
     // peak, and the local tiles shrink with √p, further hurting BLAS

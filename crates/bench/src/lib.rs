@@ -51,8 +51,13 @@ pub fn prepare(molecule: Molecule, tau: f64) -> Workload {
     let basis = BasisInstance::new(molecule.clone(), BasisSetKind::CcPvdz)
         .unwrap_or_else(|e| panic!("basis setup for {name}: {e}"));
     let cost = CostModel::calibrate(&basis, 3);
-    let prob = FockProblem::new(molecule, BasisSetKind::CcPvdz, tau, ShellOrdering::cells_default())
-        .unwrap();
+    let prob = FockProblem::new(
+        molecule,
+        BasisSetKind::CcPvdz,
+        tau,
+        ShellOrdering::cells_default(),
+    )
+    .unwrap();
     Workload { name, prob, cost }
 }
 
@@ -79,6 +84,21 @@ pub fn flag_full() -> bool {
     std::env::args().any(|a| a == "--full")
 }
 
+/// `--trace <path>` option: where to write a version-1 `obs` JSON
+/// timeline (per-process task/steal/comm events). `None` when absent;
+/// exits with an error when the flag is given without a path.
+pub fn opt_trace() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--trace")?;
+    match args.get(i + 1) {
+        Some(p) if !p.starts_with("--") => Some(p.clone()),
+        _ => {
+            eprintln!("error: --trace requires a path argument");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// `--tau <v>` option (default 1e-10, the paper's tolerance).
 pub fn opt_tau() -> f64 {
     let args: Vec<String> = std::env::args().collect();
@@ -94,7 +114,11 @@ pub fn banner(what: &str, full: bool) {
     println!("== {what} ==");
     println!(
         "molecules: {} | basis: cc-pVDZ | τ = {:.0e} | machine model: Lonestar (Table I)",
-        if full { "paper set (--full)" } else { "scaled-down set (pass --full for the paper's)" },
+        if full {
+            "paper set (--full)"
+        } else {
+            "scaled-down set (pass --full for the paper's)"
+        },
         opt_tau()
     );
     println!();

@@ -22,7 +22,11 @@ impl ShellSpec {
     pub fn new(l: u8, exps: &[f64], coefs: &[f64]) -> Self {
         assert_eq!(exps.len(), coefs.len(), "exps/coefs length mismatch");
         assert!(!exps.is_empty(), "empty shell");
-        ShellSpec { l, exps: exps.to_vec(), coefs: coefs.to_vec() }
+        ShellSpec {
+            l,
+            exps: exps.to_vec(),
+            coefs: coefs.to_vec(),
+        }
     }
 
     /// Number of spherical basis functions carried by this shell
@@ -85,8 +89,16 @@ fn sto3g(z: u32) -> Option<Vec<ShellSpec>> {
     const S2: [f64; 3] = [-0.099_967_229_19, 0.399_512_826_1, 0.700_115_468_9];
     const P2: [f64; 3] = [0.155_916_275_0, 0.607_683_718_6, 0.391_957_393_1];
     Some(match z {
-        1 => vec![ShellSpec::new(0, &[3.425_250_914, 0.623_913_729_8, 0.168_855_404_0], &S1)],
-        2 => vec![ShellSpec::new(0, &[6.362_421_394, 1.158_922_999, 0.313_649_791_5], &S1)],
+        1 => vec![ShellSpec::new(
+            0,
+            &[3.425_250_914, 0.623_913_729_8, 0.168_855_404_0],
+            &S1,
+        )],
+        2 => vec![ShellSpec::new(
+            0,
+            &[6.362_421_394, 1.158_922_999, 0.313_649_791_5],
+            &S1,
+        )],
         6 => vec![
             ShellSpec::new(0, &[71.616_837_35, 13.045_096_32, 3.530_512_160], &S1),
             ShellSpec::new(0, &[2.941_249_355, 0.683_483_096_4, 0.222_289_915_9], &S2),
@@ -121,8 +133,22 @@ fn six31g(z: u32) -> Option<Vec<ShellSpec>> {
         6 => vec![
             ShellSpec::new(
                 0,
-                &[3_047.524_88, 457.369_518, 103.948_685, 29.210_155_3, 9.286_662_96, 3.163_926_96],
-                &[0.001_834_7, 0.014_037_3, 0.068_842_6, 0.232_184_4, 0.467_941_3, 0.362_312],
+                &[
+                    3_047.524_88,
+                    457.369_518,
+                    103.948_685,
+                    29.210_155_3,
+                    9.286_662_96,
+                    3.163_926_96,
+                ],
+                &[
+                    0.001_834_7,
+                    0.014_037_3,
+                    0.068_842_6,
+                    0.232_184_4,
+                    0.467_941_3,
+                    0.362_312,
+                ],
             ),
             ShellSpec::new(
                 0,
@@ -140,8 +166,22 @@ fn six31g(z: u32) -> Option<Vec<ShellSpec>> {
         7 => vec![
             ShellSpec::new(
                 0,
-                &[4_173.511_46, 627.457_911, 142.902_093, 40.234_329_3, 12.820_212_9, 4.390_437_01],
-                &[0.001_834_8, 0.013_995, 0.068_587, 0.232_241, 0.469_070, 0.360_455],
+                &[
+                    4_173.511_46,
+                    627.457_911,
+                    142.902_093,
+                    40.234_329_3,
+                    12.820_212_9,
+                    4.390_437_01,
+                ],
+                &[
+                    0.001_834_8,
+                    0.013_995,
+                    0.068_587,
+                    0.232_241,
+                    0.469_070,
+                    0.360_455,
+                ],
             ),
             ShellSpec::new(
                 0,
@@ -159,8 +199,22 @@ fn six31g(z: u32) -> Option<Vec<ShellSpec>> {
         8 => vec![
             ShellSpec::new(
                 0,
-                &[5_484.671_66, 825.234_946, 188.046_958, 52.964_500_0, 16.897_570_4, 5.799_635_34],
-                &[0.001_831_1, 0.013_950_1, 0.068_445_1, 0.232_714_3, 0.470_193, 0.358_520_9],
+                &[
+                    5_484.671_66,
+                    825.234_946,
+                    188.046_958,
+                    52.964_500_0,
+                    16.897_570_4,
+                    5.799_635_34,
+                ],
+                &[
+                    0.001_831_1,
+                    0.013_950_1,
+                    0.068_445_1,
+                    0.232_714_3,
+                    0.470_193,
+                    0.358_520_9,
+                ],
             ),
             ShellSpec::new(
                 0,
@@ -197,7 +251,9 @@ fn ccpvdz(z: u32) -> Option<Vec<ShellSpec>> {
         6 => vec![
             ShellSpec::new(
                 0,
-                &[6665.0, 1000.0, 228.0, 64.71, 21.06, 6.459, 2.343, 0.7052, 0.1596],
+                &[
+                    6665.0, 1000.0, 228.0, 64.71, 21.06, 6.459, 2.343, 0.7052, 0.1596,
+                ],
                 &[
                     0.000_692, 0.005_329, 0.027_077, 0.101_718, 0.274_740, 0.448_564, 0.285_074,
                     0.015_204, -0.003_191,
@@ -205,7 +261,9 @@ fn ccpvdz(z: u32) -> Option<Vec<ShellSpec>> {
             ),
             ShellSpec::new(
                 0,
-                &[6665.0, 1000.0, 228.0, 64.71, 21.06, 6.459, 2.343, 0.7052, 0.1596],
+                &[
+                    6665.0, 1000.0, 228.0, 64.71, 21.06, 6.459, 2.343, 0.7052, 0.1596,
+                ],
                 &[
                     -0.000_146, -0.001_154, -0.005_725, -0.023_312, -0.063_955, -0.149_981,
                     -0.127_262, 0.544_529, 0.580_496,
@@ -223,7 +281,9 @@ fn ccpvdz(z: u32) -> Option<Vec<ShellSpec>> {
         7 => vec![
             ShellSpec::new(
                 0,
-                &[9046.0, 1357.0, 309.3, 87.73, 28.56, 10.21, 3.838, 1.179, 0.2747],
+                &[
+                    9046.0, 1357.0, 309.3, 87.73, 28.56, 10.21, 3.838, 1.179, 0.2747,
+                ],
                 &[
                     0.000_700, 0.005_389, 0.027_406, 0.103_207, 0.278_723, 0.448_540, 0.278_238,
                     0.015_440, -0.002_864,
@@ -231,7 +291,9 @@ fn ccpvdz(z: u32) -> Option<Vec<ShellSpec>> {
             ),
             ShellSpec::new(
                 0,
-                &[9046.0, 1357.0, 309.3, 87.73, 28.56, 10.21, 3.838, 1.179, 0.2747],
+                &[
+                    9046.0, 1357.0, 309.3, 87.73, 28.56, 10.21, 3.838, 1.179, 0.2747,
+                ],
                 &[
                     -0.000_153, -0.001_208, -0.005_992, -0.024_544, -0.067_459, -0.158_078,
                     -0.121_831, 0.549_003, 0.578_815,
@@ -249,7 +311,9 @@ fn ccpvdz(z: u32) -> Option<Vec<ShellSpec>> {
         8 => vec![
             ShellSpec::new(
                 0,
-                &[11720.0, 1759.0, 400.8, 113.7, 37.03, 13.27, 5.025, 1.013, 0.3023],
+                &[
+                    11720.0, 1759.0, 400.8, 113.7, 37.03, 13.27, 5.025, 1.013, 0.3023,
+                ],
                 &[
                     0.000_710, 0.005_470, 0.027_837, 0.104_800, 0.283_062, 0.448_719, 0.270_952,
                     0.015_458, -0.002_585,
@@ -257,7 +321,9 @@ fn ccpvdz(z: u32) -> Option<Vec<ShellSpec>> {
             ),
             ShellSpec::new(
                 0,
-                &[11720.0, 1759.0, 400.8, 113.7, 37.03, 13.27, 5.025, 1.013, 0.3023],
+                &[
+                    11720.0, 1759.0, 400.8, 113.7, 37.03, 13.27, 5.025, 1.013, 0.3023,
+                ],
                 &[
                     -0.000_160, -0.001_263, -0.006_267, -0.025_716, -0.070_924, -0.165_411,
                     -0.116_955, 0.557_368, 0.572_759,
@@ -289,8 +355,18 @@ mod tests {
 
     #[test]
     fn ccpvdz_counts_match_paper_table2() {
-        let h: usize = BasisSetKind::CcPvdz.shells_for(1).unwrap().iter().map(|s| s.nfuncs()).sum();
-        let c: usize = BasisSetKind::CcPvdz.shells_for(6).unwrap().iter().map(|s| s.nfuncs()).sum();
+        let h: usize = BasisSetKind::CcPvdz
+            .shells_for(1)
+            .unwrap()
+            .iter()
+            .map(|s| s.nfuncs())
+            .sum();
+        let c: usize = BasisSetKind::CcPvdz
+            .shells_for(6)
+            .unwrap()
+            .iter()
+            .map(|s| s.nfuncs())
+            .sum();
         assert_eq!(h, 5);
         assert_eq!(c, 14);
         assert_eq!(BasisSetKind::CcPvdz.shells_for(1).unwrap().len(), 3);

@@ -96,7 +96,10 @@ fn fused_ring_molecule(ring_centers: &[(i64, i64)]) -> Molecule {
     let bond2 = (d * 1.1) * (d * 1.1);
     let mut atoms: Vec<Atom> = carbons
         .iter()
-        .map(|&p| Atom { z: C, pos: p * angstrom_to_bohr(1.0) })
+        .map(|&p| Atom {
+            z: C,
+            pos: p * angstrom_to_bohr(1.0),
+        })
         .collect();
     let mut hydrogens = Vec::new();
     for (ci, &c) in carbons.iter().enumerate() {
@@ -130,11 +133,16 @@ fn fused_ring_molecule(ring_centers: &[(i64, i64)]) -> Molecule {
 pub fn diamondoid(radius: f64) -> Molecule {
     assert!(radius > 1.0, "radius too small for any carbon");
     let a = 3.567; // diamond cubic lattice constant, angstrom
-    // Sublattice A at FCC points, sublattice B offset by (¼,¼,¼)·a.
-    // Centre the cluster on a bond midpoint (⅛,⅛,⅛)·a so it grows
-    // symmetrically.
+                   // Sublattice A at FCC points, sublattice B offset by (¼,¼,¼)·a.
+                   // Centre the cluster on a bond midpoint (⅛,⅛,⅛)·a so it grows
+                   // symmetrically.
     let center = Vec3::new(a / 2.0, a / 2.0, a / 2.0);
-    let fcc = [(0.0, 0.0, 0.0), (0.0, 0.5, 0.5), (0.5, 0.0, 0.5), (0.5, 0.5, 0.0)];
+    let fcc = [
+        (0.0, 0.0, 0.0),
+        (0.0, 0.5, 0.5),
+        (0.5, 0.0, 0.5),
+        (0.5, 0.5, 0.0),
+    ];
     let span = (radius / a).ceil() as i64 + 1;
     let mut carbons: Vec<(Vec3, bool)> = Vec::new(); // (position, sublattice A?)
     for ix in -span..=span {
@@ -164,7 +172,10 @@ pub fn diamondoid(radius: f64) -> Molecule {
         let degrees: Vec<usize> = carbons
             .iter()
             .map(|&(p, _)| {
-                carbons.iter().filter(|&&(q, _)| q != p && p.dist2(q) < bond2).count()
+                carbons
+                    .iter()
+                    .filter(|&&(q, _)| q != p && p.dist2(q) < bond2)
+                    .count()
             })
             .collect();
         let before = carbons.len();
@@ -179,7 +190,10 @@ pub fn diamondoid(radius: f64) -> Molecule {
             break;
         }
     }
-    assert!(!carbons.is_empty(), "radius {radius} Å leaves no carbon cluster");
+    assert!(
+        !carbons.is_empty(),
+        "radius {radius} Å leaves no carbon cluster"
+    );
 
     // Heal surface vacancies: a missing lattice site bonded to two or more
     // selected carbons would make their capping hydrogens collide — such a
@@ -202,8 +216,11 @@ pub fn diamondoid(radius: f64) -> Molecule {
                 }
             }
         }
-        let fill: Vec<(Vec3, bool)> =
-            wanted.iter().filter(|(_, _, n)| *n >= 2).map(|&(p, sa, _)| (p, sa)).collect();
+        let fill: Vec<(Vec3, bool)> = wanted
+            .iter()
+            .filter(|(_, _, n)| *n >= 2)
+            .map(|&(p, sa, _)| (p, sa))
+            .collect();
         if fill.is_empty() {
             break;
         }
@@ -215,7 +232,10 @@ pub fn diamondoid(radius: f64) -> Molecule {
     let dirs_a = [(s, s, s), (s, -s, -s), (-s, s, -s), (-s, -s, s)];
     let mut atoms: Vec<Atom> = carbons
         .iter()
-        .map(|&(p, _)| Atom { z: C, pos: p * angstrom_to_bohr(1.0) })
+        .map(|&(p, _)| Atom {
+            z: C,
+            pos: p * angstrom_to_bohr(1.0),
+        })
         .collect();
     let mut hydrogens = Vec::new();
     for &(p, is_a) in &carbons {
@@ -249,12 +269,18 @@ pub fn linear_alkane(k: usize) -> Molecule {
 
     let mut atoms: Vec<Atom> = carbons
         .iter()
-        .map(|&p| Atom { z: C, pos: p * angstrom_to_bohr(1.0) })
+        .map(|&p| Atom {
+            z: C,
+            pos: p * angstrom_to_bohr(1.0),
+        })
         .collect();
 
     let mut hydrogens: Vec<Atom> = Vec::new();
     let mut push_h = |pos: Vec3| {
-        hydrogens.push(Atom { z: H, pos: pos * angstrom_to_bohr(1.0) });
+        hydrogens.push(Atom {
+            z: H,
+            pos: pos * angstrom_to_bohr(1.0),
+        });
     };
     for (i, &c) in carbons.iter().enumerate() {
         let prev = (i > 0).then(|| (carbons[i - 1] - c).normalized());
@@ -284,8 +310,12 @@ pub fn linear_alkane(k: usize) -> Molecule {
             (None, None) => {
                 // Methane: regular tetrahedron.
                 let s = CH / 3f64.sqrt();
-                for &(sx, sy, sz) in &[(1.0, 1.0, 1.0), (1.0, -1.0, -1.0), (-1.0, 1.0, -1.0), (-1.0, -1.0, 1.0)]
-                {
+                for &(sx, sy, sz) in &[
+                    (1.0, 1.0, 1.0),
+                    (1.0, -1.0, -1.0),
+                    (-1.0, 1.0, -1.0),
+                    (-1.0, -1.0, 1.0),
+                ] {
                     push_h(c + Vec3::new(sx, sy, sz) * s);
                 }
             }
@@ -298,7 +328,11 @@ pub fn linear_alkane(k: usize) -> Molecule {
 
 /// Any unit vector perpendicular to `u`.
 fn pick_perp(u: Vec3) -> Vec3 {
-    let trial = if u.x.abs() < 0.9 { Vec3::new(1.0, 0.0, 0.0) } else { Vec3::new(0.0, 1.0, 0.0) };
+    let trial = if u.x.abs() < 0.9 {
+        Vec3::new(1.0, 0.0, 0.0)
+    } else {
+        Vec3::new(0.0, 1.0, 0.0)
+    };
     u.cross(trial).normalized()
 }
 
@@ -306,14 +340,23 @@ fn pick_perp(u: Vec3) -> Vec3 {
 /// Szabo–Ostlund textbook geometry.
 pub fn hydrogen(r_bohr: f64) -> Molecule {
     Molecule::new(vec![
-        Atom { z: H, pos: Vec3::ZERO },
-        Atom { z: H, pos: Vec3::new(0.0, 0.0, r_bohr) },
+        Atom {
+            z: H,
+            pos: Vec3::ZERO,
+        },
+        Atom {
+            z: H,
+            pos: Vec3::new(0.0, 0.0, r_bohr),
+        },
     ])
 }
 
 /// A single helium atom (closed shell; used for absolute-energy tests).
 pub fn helium() -> Molecule {
-    Molecule::new(vec![Atom { z: HE, pos: Vec3::ZERO }])
+    Molecule::new(vec![Atom {
+        z: HE,
+        pos: Vec3::ZERO,
+    }])
 }
 
 /// Water at the near-experimental geometry (r(OH)=0.9572 Å, ∠HOH=104.52°).
@@ -321,9 +364,18 @@ pub fn water() -> Molecule {
     let r = angstrom_to_bohr(0.9572);
     let half = (104.52f64 / 2.0).to_radians();
     Molecule::new(vec![
-        Atom { z: O, pos: Vec3::ZERO },
-        Atom { z: H, pos: Vec3::new(r * half.sin(), 0.0, r * half.cos()) },
-        Atom { z: H, pos: Vec3::new(-r * half.sin(), 0.0, r * half.cos()) },
+        Atom {
+            z: O,
+            pos: Vec3::ZERO,
+        },
+        Atom {
+            z: H,
+            pos: Vec3::new(r * half.sin(), 0.0, r * half.cos()),
+        },
+        Atom {
+            z: H,
+            pos: Vec3::new(-r * half.sin(), 0.0, r * half.cos()),
+        },
     ])
 }
 
@@ -383,7 +435,10 @@ mod tests {
         let m = linear_alkane(20);
         let (lo, hi) = m.bounding_box();
         let ext = hi - lo;
-        assert!(ext.x > 5.0 * ext.y && ext.x > 5.0 * ext.z, "chain should extend along x");
+        assert!(
+            ext.x > 5.0 * ext.y && ext.x > 5.0 * ext.z,
+            "chain should extend along x"
+        );
     }
 
     #[test]
@@ -415,7 +470,11 @@ mod tests {
         for m in [graphene_flake(4), linear_alkane(30)] {
             for (i, a) in m.atoms.iter().enumerate() {
                 for b in &m.atoms[i + 1..] {
-                    assert!(a.pos.dist(b.pos) > 1.0, "atoms too close in {}", m.formula());
+                    assert!(
+                        a.pos.dist(b.pos) > 1.0,
+                        "atoms too close in {}",
+                        m.formula()
+                    );
                 }
             }
         }

@@ -41,7 +41,10 @@ impl Molecule {
     /// closed shells).
     pub fn nocc(&self) -> usize {
         let ne = self.nelectrons();
-        assert!(ne.is_multiple_of(2), "closed-shell molecule required (got {ne} electrons)");
+        assert!(
+            ne.is_multiple_of(2),
+            "closed-shell molecule required (got {ne} electrons)"
+        );
         ne / 2
     }
 
@@ -166,8 +169,14 @@ mod tests {
 
     fn h2() -> Molecule {
         Molecule::new(vec![
-            Atom { z: 1, pos: Vec3::ZERO },
-            Atom { z: 1, pos: Vec3::new(0.0, 0.0, 1.4) },
+            Atom {
+                z: 1,
+                pos: Vec3::ZERO,
+            },
+            Atom {
+                z: 1,
+                pos: Vec3::new(0.0, 0.0, 1.4),
+            },
         ])
     }
 
@@ -187,10 +196,22 @@ mod tests {
     #[test]
     fn formula_hill_system() {
         let m = Molecule::new(vec![
-            Atom { z: 8, pos: Vec3::ZERO },
-            Atom { z: 1, pos: Vec3::new(1.0, 0.0, 0.0) },
-            Atom { z: 1, pos: Vec3::new(0.0, 1.0, 0.0) },
-            Atom { z: 6, pos: Vec3::new(0.0, 0.0, 1.0) },
+            Atom {
+                z: 8,
+                pos: Vec3::ZERO,
+            },
+            Atom {
+                z: 1,
+                pos: Vec3::new(1.0, 0.0, 0.0),
+            },
+            Atom {
+                z: 1,
+                pos: Vec3::new(0.0, 1.0, 0.0),
+            },
+            Atom {
+                z: 6,
+                pos: Vec3::new(0.0, 0.0, 1.0),
+            },
         ]);
         assert_eq!(m.formula(), "CH2O");
     }
@@ -225,7 +246,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn odd_electrons_panic_on_nocc() {
-        let m = Molecule::new(vec![Atom { z: 1, pos: Vec3::ZERO }]);
+        let m = Molecule::new(vec![Atom {
+            z: 1,
+            pos: Vec3::ZERO,
+        }]);
         m.nocc();
     }
 }

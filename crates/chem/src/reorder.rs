@@ -274,7 +274,10 @@ mod tests {
             for y in 0..16u64 {
                 for z in 0..16u64 {
                     let d = hilbert3(x, y, z, bits);
-                    assert!(by_d.insert(d, (x, y, z)).is_none(), "collision at {x},{y},{z}");
+                    assert!(
+                        by_d.insert(d, (x, y, z)).is_none(),
+                        "collision at {x},{y},{z}"
+                    );
                 }
             }
         }
@@ -323,7 +326,12 @@ mod tests {
         let xs: Vec<f64> = r.shells.iter().map(|s| s.center.x).collect();
         // x coordinates should be non-decreasing up to one cell width.
         for w in xs.windows(2) {
-            assert!(w[1] > w[0] - cell, "chain ordering violated: {} then {}", w[0], w[1]);
+            assert!(
+                w[1] > w[0] - cell,
+                "chain ordering violated: {} then {}",
+                w[0],
+                w[1]
+            );
         }
     }
 }

@@ -106,7 +106,12 @@ impl BasisInstance {
                 offset += nfuncs;
             }
         }
-        Ok(BasisInstance { molecule, kind, shells, nbf: offset })
+        Ok(BasisInstance {
+            molecule,
+            kind,
+            shells,
+            nbf: offset,
+        })
     }
 
     #[inline]
@@ -165,7 +170,11 @@ fn normalize_contraction(l: u8, exps: &[f64], coefs: &[f64]) -> Vec<f64> {
     let prim_norm = |a: f64| -> f64 {
         (2.0 * a / std::f64::consts::PI).powf(0.75) * (4.0 * a).powi(l as i32).sqrt() / dfl.sqrt()
     };
-    let cn: Vec<f64> = exps.iter().zip(coefs).map(|(&a, &c)| c * prim_norm(a)).collect();
+    let cn: Vec<f64> = exps
+        .iter()
+        .zip(coefs)
+        .map(|(&a, &c)| c * prim_norm(a))
+        .collect();
     // Contracted self-overlap of the (l,0,0) component.
     let mut s = 0.0;
     for (&ai, &ci) in exps.iter().zip(&cn) {

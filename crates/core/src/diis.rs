@@ -24,7 +24,11 @@ impl Diis {
     /// `max_vecs` — subspace size (6–8 is customary).
     pub fn new(max_vecs: usize) -> Diis {
         assert!(max_vecs >= 2, "DIIS needs at least two vectors");
-        Diis { max_vecs, focks: VecDeque::new(), errors: VecDeque::new() }
+        Diis {
+            max_vecs,
+            focks: VecDeque::new(),
+            errors: VecDeque::new(),
+        }
     }
 
     /// The SCF error vector e = F·D·S − S·D·F.

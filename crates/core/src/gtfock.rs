@@ -14,13 +14,15 @@
 //! sequential reference for any grid shape and any stealing schedule —
 //! the correctness tests exercise exactly that.
 
+use crate::build::{BuildReport, QUARTETS_COUNTER};
 use crate::localbuf::{LocalBuffers, LocalSink, ShellDims};
 use crate::partition::StaticPartition;
 use crate::sink::do_task;
 use crate::tasks::FockProblem;
 use crossbeam_deque::{Steal, Stealer, Worker};
-use distrt::{CommStats, GlobalArray, ProcessGrid};
+use distrt::{GlobalArray, ProcessGrid};
 use eri::EriEngine;
+use obs::{EventKind, Recorder};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -35,53 +37,16 @@ pub struct GtfockConfig {
 
 impl Default for GtfockConfig {
     fn default() -> Self {
-        GtfockConfig { grid: ProcessGrid::new(1, 1), steal: true }
-    }
-}
-
-/// Per-process measurements of one build.
-#[derive(Debug, Clone)]
-pub struct GtfockReport {
-    /// Wall time of each process's task loop (T_fock).
-    pub t_fock: Vec<f64>,
-    /// Time each process spent computing quartets + updates (T_comp).
-    pub t_comp: Vec<f64>,
-    /// Quartets each process computed.
-    pub quartets: Vec<u64>,
-    /// Successful steal operations per process.
-    pub steals: Vec<u64>,
-    /// Distinct victims per process (the model's `s`).
-    pub victims: Vec<u64>,
-    /// Per-process communication (D gets + F accs).
-    pub comm: Vec<CommStats>,
-}
-
-impl GtfockReport {
-    /// Load balance ratio l = T_fock,max / T_fock,avg (Table VIII).
-    pub fn load_balance(&self) -> f64 {
-        let max = self.t_fock.iter().copied().fold(0.0, f64::max);
-        let avg = self.t_fock.iter().sum::<f64>() / self.t_fock.len() as f64;
-        if avg == 0.0 {
-            1.0
-        } else {
-            max / avg
+        GtfockConfig {
+            grid: ProcessGrid::new(1, 1),
+            steal: true,
         }
     }
-
-    /// Average parallel overhead T_ov = T_fock − T_comp (Figure 2).
-    pub fn t_ov_avg(&self) -> f64 {
-        self.t_fock
-            .iter()
-            .zip(&self.t_comp)
-            .map(|(f, c)| (f - c).max(0.0))
-            .sum::<f64>()
-            / self.t_fock.len() as f64
-    }
-
-    pub fn total_quartets(&self) -> u64 {
-        self.quartets.iter().sum()
-    }
 }
+
+/// Per-process measurements of one build. The historical name survives as
+/// an alias of the unified [`BuildReport`] all builders share.
+pub type GtfockReport = BuildReport;
 
 /// Build G(D) = 2J − K with the GTFock algorithm. `d_dense` is the
 /// (symmetric) density matrix in the problem's shell ordering; the dense
@@ -91,14 +56,31 @@ pub fn build_fock_gtfock(
     d_dense: &[f64],
     cfg: GtfockConfig,
 ) -> (Vec<f64>, GtfockReport) {
+    build_fock_gtfock_rec(prob, d_dense, cfg, &Recorder::disabled())
+}
+
+/// [`build_fock_gtfock`] with telemetry. Each virtual process checks out
+/// its worker lane and records task start/end, steal attempts/successes
+/// (with victim rank), bulk D-prefetch and F-flush transfers, and its
+/// join-barrier wait; the attached GA emits per-call comm events into the
+/// same timeline.
+pub fn build_fock_gtfock_rec(
+    prob: &FockProblem,
+    d_dense: &[f64],
+    cfg: GtfockConfig,
+    rec: &Recorder,
+) -> (Vec<f64>, BuildReport) {
     let nbf = prob.nbf();
     assert_eq!(d_dense.len(), nbf * nbf);
     let nprocs = cfg.grid.nprocs();
     let part = StaticPartition::new(cfg.grid, prob.nshells());
     let dims = ShellDims::new(prob);
 
-    let ga_d = GlobalArray::from_dense(cfg.grid, nbf, nbf, d_dense);
-    let ga_f = GlobalArray::zeros(cfg.grid, nbf, nbf);
+    let mut ga_d = GlobalArray::from_dense(cfg.grid, nbf, nbf, d_dense);
+    let mut ga_f = GlobalArray::zeros(cfg.grid, nbf, nbf);
+    ga_d.attach_recorder(rec);
+    ga_f.attach_recorder(rec);
+    let (ga_d, ga_f) = (ga_d, ga_f);
 
     // Task deques: one per process, pre-populated from the static partition.
     let workers: Vec<Worker<(u32, u32)>> = (0..nprocs).map(|_| Worker::new_fifo()).collect();
@@ -116,6 +98,9 @@ pub fn build_fock_gtfock(
         quartets: u64,
         steals: u64,
         victims: u64,
+        /// Recorder timestamp when this worker finished (join wait =
+        /// latest finisher minus this).
+        end_t: f64,
     }
 
     let outs: Vec<ThreadOut> = std::thread::scope(|scope| {
@@ -127,6 +112,9 @@ pub fn build_fock_gtfock(
             let dims = &dims;
             let part = &part;
             handles.push(scope.spawn(move || {
+                let mut w = rec.worker(rank);
+                let steal_ns = rec.histogram("gtfock.steal_ns");
+                w.event(EventKind::WorkerStart);
                 let start = Instant::now();
                 let mut comp = 0.0f64;
                 let mut quartets = 0u64;
@@ -137,7 +125,15 @@ pub fn build_fock_gtfock(
                 // Buffers keyed by the rank whose region they cover.
                 let mut bufs: HashMap<usize, LocalBuffers> = HashMap::new();
                 let mut own = LocalBuffers::for_process(prob, part, rank);
+                let pre = ga_d.stats(rank);
                 own.fetch_d(prob, ga_d, rank);
+                if w.is_enabled() {
+                    let post = ga_d.stats(rank);
+                    w.event(EventKind::DPrefetch {
+                        bytes: post.get_bytes - pre.get_bytes,
+                        calls: post.get_calls - pre.get_calls,
+                    });
+                }
                 bufs.insert(rank, own);
 
                 loop {
@@ -145,11 +141,17 @@ pub fn build_fock_gtfock(
                         Some(t) => Some(t),
                         None if cfg.steal => {
                             // Row-wise victim scan (Section III-F).
+                            let scan_start = Instant::now();
                             let mut got = None;
                             for v in cfg.grid.steal_order(rank) {
+                                w.steal_attempt(v);
                                 match stealers[v].steal_batch_and_pop(&worker) {
                                     Steal::Success(t) => {
                                         steals += 1;
+                                        // The batch moved len() tasks into
+                                        // our deque plus the popped one.
+                                        w.steal_success(v, worker.len() + 1);
+                                        steal_ns.record_secs(scan_start.elapsed().as_secs_f64());
                                         got = Some(t);
                                         break;
                                     }
@@ -165,19 +167,44 @@ pub fn build_fock_gtfock(
                     let owner = part.owner_of_task(m, n);
                     let buf = bufs.entry(owner).or_insert_with(|| {
                         let mut b = LocalBuffers::for_process(prob, part, owner);
+                        let pre = ga_d.stats(rank);
                         b.fetch_d(prob, ga_d, rank);
+                        if rec.is_enabled() {
+                            let post = ga_d.stats(rank);
+                            rec.side_event(
+                                rank,
+                                EventKind::DPrefetch {
+                                    bytes: post.get_bytes - pre.get_bytes,
+                                    calls: post.get_calls - pre.get_calls,
+                                },
+                            );
+                        }
                         b
                     });
+                    w.task_start(m, n);
                     let t0 = Instant::now();
                     let mut sink = LocalSink { buf, dims };
-                    quartets += do_task(&mut sink, prob, &mut eng, &mut scratch, m, n);
+                    let q = do_task(&mut sink, prob, &mut eng, &mut scratch, m, n);
                     comp += t0.elapsed().as_secs_f64();
+                    w.task_end(m, n, q);
+                    quartets += q;
                 }
 
                 let victims = bufs.len() as u64 - 1;
+                let pre = ga_f.stats(rank);
                 for (_, buf) in bufs {
                     buf.flush_f(prob, ga_f, rank);
                 }
+                if w.is_enabled() {
+                    let post = ga_f.stats(rank);
+                    w.event(EventKind::FFlush {
+                        bytes: post.acc_bytes - pre.acc_bytes,
+                        calls: post.acc_calls - pre.acc_calls,
+                    });
+                }
+                w.event(EventKind::WorkerEnd);
+                let end_t = w.now();
+                rec.counter(QUARTETS_COUNTER).add(quartets);
                 ThreadOut {
                     rank,
                     t_fock: start.elapsed().as_secs_f64(),
@@ -185,20 +212,18 @@ pub fn build_fock_gtfock(
                     quartets,
                     steals,
                     victims,
+                    end_t,
                 }
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
     });
 
-    let mut report = GtfockReport {
-        t_fock: vec![0.0; nprocs],
-        t_comp: vec![0.0; nprocs],
-        quartets: vec![0; nprocs],
-        steals: vec![0; nprocs],
-        victims: vec![0; nprocs],
-        comm: vec![CommStats::default(); nprocs],
-    };
+    let mut report = BuildReport::zeros(nprocs);
+    let t_last = outs.iter().map(|o| o.end_t).fold(0.0, f64::max);
     for o in outs {
         report.t_fock[o.rank] = o.t_fock;
         report.t_comp[o.rank] = o.t_comp;
@@ -208,6 +233,17 @@ pub fn build_fock_gtfock(
         let mut c = ga_d.stats(o.rank);
         c.merge(&ga_f.stats(o.rank));
         report.comm[o.rank] = c;
+        // Join wait: time between this worker finishing and the slowest
+        // one — the implicit barrier at the end of the build.
+        if rec.is_enabled() {
+            rec.side_event_at(
+                o.rank,
+                o.end_t,
+                EventKind::BarrierWait {
+                    seconds: t_last - o.end_t,
+                },
+            );
+        }
     }
     (ga_f.to_dense(), report)
 }
@@ -236,7 +272,10 @@ mod tests {
     }
 
     fn max_diff(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -246,7 +285,11 @@ mod tests {
         let (want, wq) = build_g_seq(&prob, &d);
         let (got, rep) = build_fock_gtfock(&prob, &d, GtfockConfig::default());
         assert_eq!(rep.total_quartets(), wq);
-        assert!(max_diff(&want, &got) < 1e-11, "diff {}", max_diff(&want, &got));
+        assert!(
+            max_diff(&want, &got) < 1e-11,
+            "diff {}",
+            max_diff(&want, &got)
+        );
     }
 
     #[test]
@@ -254,7 +297,11 @@ mod tests {
         let prob = problem(ShellOrdering::cells_default());
         let d = density(prob.nbf());
         let (want, wq) = build_g_seq(&prob, &d);
-        for grid in [ProcessGrid::new(2, 2), ProcessGrid::new(1, 3), ProcessGrid::new(3, 2)] {
+        for grid in [
+            ProcessGrid::new(2, 2),
+            ProcessGrid::new(1, 3),
+            ProcessGrid::new(3, 2),
+        ] {
             let (got, rep) = build_fock_gtfock(&prob, &d, GtfockConfig { grid, steal: true });
             assert_eq!(rep.total_quartets(), wq, "grid {grid:?}");
             assert!(
@@ -273,7 +320,10 @@ mod tests {
         let (got, rep) = build_fock_gtfock(
             &prob,
             &d,
-            GtfockConfig { grid: ProcessGrid::new(2, 2), steal: false },
+            GtfockConfig {
+                grid: ProcessGrid::new(2, 2),
+                steal: false,
+            },
         );
         assert!(rep.steals.iter().all(|&s| s == 0));
         assert!(max_diff(&want, &got) < 1e-11);
@@ -294,9 +344,16 @@ mod tests {
         let (got, _) = build_fock_gtfock(
             &prob,
             &d,
-            GtfockConfig { grid: ProcessGrid::new(2, 2), steal: true },
+            GtfockConfig {
+                grid: ProcessGrid::new(2, 2),
+                steal: true,
+            },
         );
-        assert!(max_diff(&want, &got) < 1e-10, "diff {}", max_diff(&want, &got));
+        assert!(
+            max_diff(&want, &got) < 1e-10,
+            "diff {}",
+            max_diff(&want, &got)
+        );
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! * [`partition`] — the initial static 2-D partitioning of the task space
 //!   (Section III-C),
 //! * [`localbuf`] — prefetched per-process D/F buffers (Section III-E),
+//! * [`build`] — the unified [`build::FockBuild`] trait, shared
+//!   [`build::BuildReport`], and [`build::SchedulerOpts`] every builder
+//!   configuration derives from,
 //! * [`seq`] — sequential reference builds (ground truth for tests),
 //! * [`gtfock`] — the paper's algorithm on threads: static partition +
 //!   prefetch + work-stealing scheduler (Algorithms 3 and 4),
@@ -22,6 +25,7 @@
 //!   algorithms, producing the timing/communication/load-balance data of
 //!   Tables III–VIII and Figure 2.
 
+pub mod build;
 pub mod diis;
 pub mod gtfock;
 pub mod localbuf;
@@ -35,7 +39,11 @@ pub mod sim_exec;
 pub mod sink;
 pub mod tasks;
 
-pub use gtfock::{build_fock_gtfock, GtfockConfig, GtfockReport};
-pub use nwchem::{build_fock_nwchem, NwchemConfig, NwchemReport};
-pub use scf::{ScfConfig, ScfResult};
+pub use build::{
+    gtfock_builder, nwchem_builder, seq_builder, BuildOutcome, BuildReport, FockBuild,
+    SchedulerOpts, QUARTETS_COUNTER,
+};
+pub use gtfock::{build_fock_gtfock, build_fock_gtfock_rec, GtfockConfig, GtfockReport};
+pub use nwchem::{build_fock_nwchem, build_fock_nwchem_rec, NwchemConfig, NwchemReport};
+pub use scf::{ScfConfig, ScfConfigBuilder, ScfResult};
 pub use tasks::FockProblem;

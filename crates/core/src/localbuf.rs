@@ -42,7 +42,11 @@ impl LocalBuffers {
         let mut block_off = vec![-1i64; nshells * nshells];
         let mut blocks: Vec<(u32, u32)> = Vec::new();
         let mut size = 0usize;
-        let add = |a: usize, b: usize, blocks: &mut Vec<(u32, u32)>, off: &mut Vec<i64>, size: &mut usize| {
+        let add = |a: usize,
+                   b: usize,
+                   blocks: &mut Vec<(u32, u32)>,
+                   off: &mut Vec<i64>,
+                   size: &mut usize| {
             let k = a * nshells + b;
             if off[k] < 0 {
                 off[k] = *size as i64;
@@ -118,10 +122,18 @@ impl LocalBuffers {
     /// (one one-sided get per shell block, accounted to `rank`).
     pub fn fetch_d(&mut self, prob: &FockProblem, d: &GlobalArray, rank: usize) {
         for &(a, b) in &self.blocks {
-            let (sa, sb) = (&prob.basis.shells[a as usize], &prob.basis.shells[b as usize]);
+            let (sa, sb) = (
+                &prob.basis.shells[a as usize],
+                &prob.basis.shells[b as usize],
+            );
             let off = self.block_off[a as usize * self.nshells + b as usize] as usize;
             let n = sa.nfuncs() * sb.nfuncs();
-            d.get(rank, sa.bf_range(), sb.bf_range(), &mut self.dbuf[off..off + n]);
+            d.get(
+                rank,
+                sa.bf_range(),
+                sb.bf_range(),
+                &mut self.dbuf[off..off + n],
+            );
         }
     }
 
@@ -130,7 +142,10 @@ impl LocalBuffers {
     pub fn flush_f(&self, prob: &FockProblem, f: &GlobalArray, rank: usize) {
         let mut tbuf: Vec<f64> = Vec::new();
         for &(a, b) in &self.blocks {
-            let (sa, sb) = (&prob.basis.shells[a as usize], &prob.basis.shells[b as usize]);
+            let (sa, sb) = (
+                &prob.basis.shells[a as usize],
+                &prob.basis.shells[b as usize],
+            );
             let (na, nb) = (sa.nfuncs(), sb.nfuncs());
             let off = self.block_off[a as usize * self.nshells + b as usize] as usize;
             let blk = &self.fbuf[off..off + na * nb];
@@ -295,7 +310,10 @@ mod tests {
         for rank in 0..4 {
             let mut buf = LocalBuffers::for_process(&prob, &part, rank);
             buf.fetch_d(&prob, &ga, rank);
-            let sink = LocalSink { buf: &mut buf, dims: &dims };
+            let sink = LocalSink {
+                buf: &mut buf,
+                dims: &dims,
+            };
             // Spot-check: every covered element reads back correctly,
             // including transposed lookups.
             for i in 0..nbf {
@@ -321,7 +339,10 @@ mod tests {
         let dims = ShellDims::new(&prob);
         let mut buf = LocalBuffers::for_process(&prob, &part, 0);
         {
-            let mut sink = LocalSink { buf: &mut buf, dims: &dims };
+            let mut sink = LocalSink {
+                buf: &mut buf,
+                dims: &dims,
+            };
             sink.f_add(0, 3, 2.0);
             sink.f_add(3, 0, 2.0);
             sink.f_add(1, 1, 5.0);

@@ -54,7 +54,11 @@ impl GaSink<'_> {
     }
 
     fn fetch_d_block(&mut self, sa: usize, sb: usize) -> usize {
-        if let Some(i) = self.dcache.iter().position(|(k, _)| *k == (sa as u32, sb as u32)) {
+        if let Some(i) = self
+            .dcache
+            .iter()
+            .position(|(k, _)| *k == (sa as u32, sb as u32))
+        {
             return i;
         }
         let (oa, ob, na, nb) = self.block_dims(sa, sb);
@@ -65,11 +69,16 @@ impl GaSink<'_> {
     }
 
     fn f_block_mut(&mut self, sa: usize, sb: usize) -> usize {
-        if let Some(i) = self.fcache.iter().position(|(k, _)| *k == (sa as u32, sb as u32)) {
+        if let Some(i) = self
+            .fcache
+            .iter()
+            .position(|(k, _)| *k == (sa as u32, sb as u32))
+        {
             return i;
         }
         let (_, _, na, nb) = self.block_dims(sa, sb);
-        self.fcache.push(((sa as u32, sb as u32), vec![0.0; na * nb]));
+        self.fcache
+            .push(((sa as u32, sb as u32), vec![0.0; na * nb]));
         self.fcache.len() - 1
     }
 
@@ -100,7 +109,11 @@ impl FockSink for GaSink<'_> {
         // The cache is warmed by `apply` before reads (see do_naive_task);
         // transpose fallback uses D's symmetry.
         let (si, sj) = (self.shell_of_bf[i], self.shell_of_bf[j]);
-        if let Some((_, buf)) = self.dcache.iter().find(|(k, _)| *k == (si as u32, sj as u32)) {
+        if let Some((_, buf)) = self
+            .dcache
+            .iter()
+            .find(|(k, _)| *k == (si as u32, sj as u32))
+        {
             let (oa, ob, _, nb) = self.block_dims(si, sj);
             return buf[(i - oa) * nb + (j - ob)];
         }
@@ -180,10 +193,17 @@ pub fn build_fock_naive(
                         }
                     }
                 }
-                Out { rank, t_fock: start.elapsed().as_secs_f64(), quartets }
+                Out {
+                    rank,
+                    t_fock: start.elapsed().as_secs_f64(),
+                    quartets,
+                }
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
     let mut report = NaiveReport {
@@ -231,7 +251,10 @@ mod tests {
     }
 
     fn max_diff(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -242,7 +265,11 @@ mod tests {
         for grid in [ProcessGrid::new(1, 1), ProcessGrid::new(2, 2)] {
             let (got, rep) = build_fock_naive(&prob, &d, grid);
             assert_eq!(rep.total_quartets(), wq);
-            assert!(max_diff(&want, &got) < 1e-10, "grid {grid:?}: {}", max_diff(&want, &got));
+            assert!(
+                max_diff(&want, &got) < 1e-10,
+                "grid {grid:?}: {}",
+                max_diff(&want, &got)
+            );
         }
     }
 

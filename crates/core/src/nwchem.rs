@@ -10,10 +10,12 @@
 //! the per-quartet communication the paper contrasts with GTFock's bulk
 //! prefetch.
 
+use crate::build::{BuildReport, QUARTETS_COUNTER};
 use crate::sink::{apply_quartet, FockSink, QUARTET_PERMS};
-use crate::tasks::{FockProblem};
-use distrt::{CommStats, GlobalArray, ProcessGrid};
+use crate::tasks::FockProblem;
+use distrt::{GlobalArray, ProcessGrid};
 use eri::EriEngine;
+use obs::{EventKind, Recorder};
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,37 +32,18 @@ pub struct NwchemConfig {
 
 impl Default for NwchemConfig {
     fn default() -> Self {
-        NwchemConfig { nprocs: 1, chunk: 5 }
-    }
-}
-
-/// Per-process measurements of one baseline build.
-#[derive(Debug, Clone)]
-pub struct NwchemReport {
-    pub t_fock: Vec<f64>,
-    pub t_comp: Vec<f64>,
-    pub quartets: Vec<u64>,
-    /// Accesses to the centralized task queue (Section IV-C compares this
-    /// against GTFock's per-node queue operations).
-    pub queue_accesses: u64,
-    pub comm: Vec<CommStats>,
-}
-
-impl NwchemReport {
-    pub fn load_balance(&self) -> f64 {
-        let max = self.t_fock.iter().copied().fold(0.0, f64::max);
-        let avg = self.t_fock.iter().sum::<f64>() / self.t_fock.len() as f64;
-        if avg == 0.0 {
-            1.0
-        } else {
-            max / avg
+        NwchemConfig {
+            nprocs: 1,
+            chunk: 5,
         }
     }
-
-    pub fn total_quartets(&self) -> u64 {
-        self.quartets.iter().sum()
-    }
 }
+
+/// Per-process measurements of one baseline build. Since the unified-API
+/// refactor this is the shared [`BuildReport`]; `steals`/`victims` stay
+/// zero and `queue_accesses` counts the centralized-queue traffic
+/// (Section IV-C compares it against GTFock's per-node queue operations).
+pub type NwchemReport = BuildReport;
 
 /// Atom metadata derived from a [`FockProblem`]: contiguous shell ranges
 /// and Schwarz atom-pair values.
@@ -97,7 +80,9 @@ impl AtomMap {
         let natoms = ranges.len();
         let bfs: Vec<Range<usize>> = ranges
             .iter()
-            .map(|r| shells[r.start].bf_offset..shells[r.end - 1].bf_offset + shells[r.end - 1].nfuncs())
+            .map(|r| {
+                shells[r.start].bf_offset..shells[r.end - 1].bf_offset + shells[r.end - 1].nfuncs()
+            })
             .collect();
         let mut pair = vec![0.0; natoms * natoms];
         for ai in 0..natoms {
@@ -111,7 +96,12 @@ impl AtomMap {
                 pair[ai * natoms + aj] = q;
             }
         }
-        AtomMap { shells: ranges, bfs, pair, natoms }
+        AtomMap {
+            shells: ranges,
+            bfs,
+            pair,
+            natoms,
+        }
     }
 
     #[inline]
@@ -165,14 +155,15 @@ pub fn atom_task_loop<F: FnMut(usize, usize, usize, usize, usize)>(
 /// visited atom quartet (I,J,K,L)? Representative = lexicographically
 /// smallest orbit member whose atom signature equals (I,J,K,L).
 #[inline]
-fn class_rep_within(
-    atom_of_shell: &[u32],
-    shells: [usize; 4],
-    atoms: [u32; 4],
-) -> bool {
+fn class_rep_within(atom_of_shell: &[u32], shells: [usize; 4], atoms: [u32; 4]) -> bool {
     let mut best: Option<[usize; 4]> = None;
     for perm in QUARTET_PERMS {
-        let t = [shells[perm[0]], shells[perm[1]], shells[perm[2]], shells[perm[3]]];
+        let t = [
+            shells[perm[0]],
+            shells[perm[1]],
+            shells[perm[2]],
+            shells[perm[3]],
+        ];
         let ta = [
             atom_of_shell[t[0]],
             atom_of_shell[t[1]],
@@ -205,7 +196,10 @@ impl PairCache {
         if self.d.contains_key(&(ai, aj)) {
             ((ai, aj), false)
         } else {
-            debug_assert!(self.d.contains_key(&(aj, ai)), "pair ({ai},{aj}) not fetched");
+            debug_assert!(
+                self.d.contains_key(&(aj, ai)),
+                "pair ({ai},{aj}) not fetched"
+            );
             ((aj, ai), true)
         }
     }
@@ -248,6 +242,19 @@ pub fn build_fock_nwchem(
     d_dense: &[f64],
     cfg: NwchemConfig,
 ) -> (Vec<f64>, NwchemReport) {
+    build_fock_nwchem_rec(prob, d_dense, cfg, &Recorder::disabled())
+}
+
+/// [`build_fock_nwchem`] with telemetry. Each process records a
+/// [`EventKind::QueueAccess`] per `nxtval` call, start/end events per
+/// executed task (the quartet payload sums over the task's L-chunk), and
+/// per-call comm events via the global arrays' attached recorder.
+pub fn build_fock_nwchem_rec(
+    prob: &FockProblem,
+    d_dense: &[f64],
+    cfg: NwchemConfig,
+    rec: &Recorder,
+) -> (Vec<f64>, NwchemReport) {
     assert!(cfg.nprocs > 0 && cfg.chunk > 0);
     let nbf = prob.nbf();
     assert_eq!(d_dense.len(), nbf * nbf);
@@ -262,8 +269,11 @@ pub fn build_fock_nwchem(
 
     // Block-row distribution, as NWChem does (Section II-F).
     let grid = ProcessGrid::new(cfg.nprocs, 1);
-    let ga_d = GlobalArray::from_dense(grid, nbf, nbf, d_dense);
-    let ga_f = GlobalArray::zeros(grid, nbf, nbf);
+    let mut ga_d = GlobalArray::from_dense(grid, nbf, nbf, d_dense);
+    let mut ga_f = GlobalArray::zeros(grid, nbf, nbf);
+    ga_d.attach_recorder(rec);
+    ga_f.attach_recorder(rec);
+    let (ga_d, ga_f) = (ga_d, ga_f);
     let next_task = AtomicU64::new(0);
     let queue_accesses = AtomicU64::new(0);
 
@@ -272,6 +282,7 @@ pub fn build_fock_nwchem(
         t_fock: f64,
         t_comp: f64,
         quartets: u64,
+        end_t: f64,
     }
 
     let outs: Vec<Out> = std::thread::scope(|scope| {
@@ -281,6 +292,8 @@ pub fn build_fock_nwchem(
             let (next_task, queue_accesses) = (&next_task, &queue_accesses);
             let (atoms, atom_of_shell, atom_of_bf) = (&atoms, &atom_of_shell, &atom_of_bf);
             handles.push(scope.spawn(move || {
+                let mut w = rec.worker(rank);
+                w.event(EventKind::WorkerStart);
                 let start = Instant::now();
                 let mut comp = 0.0;
                 let mut quartets = 0u64;
@@ -288,14 +301,17 @@ pub fn build_fock_nwchem(
                 let mut scratch = Vec::new();
                 let mut my_task = {
                     queue_accesses.fetch_add(1, Ordering::Relaxed);
+                    w.event(EventKind::QueueAccess);
                     next_task.fetch_add(1, Ordering::Relaxed)
                 };
                 let mut id: u64 = 0;
                 atom_task_loop(atoms, prob, cfg.chunk, |i, j, k, l_lo, l_hi| {
                     if id == my_task {
+                        w.task_start(i, j);
+                        let mut task_q = 0u64;
                         for l in l_lo..=l_hi {
                             if atoms.pair_value(i, j) * atoms.pair_value(k, l) > prob.tau {
-                                quartets += do_atom_quartet(
+                                task_q += do_atom_quartet(
                                     prob,
                                     atoms,
                                     atom_of_shell,
@@ -310,24 +326,35 @@ pub fn build_fock_nwchem(
                                 );
                             }
                         }
+                        w.task_end(i, j, task_q);
+                        quartets += task_q;
                         queue_accesses.fetch_add(1, Ordering::Relaxed);
+                        w.event(EventKind::QueueAccess);
                         my_task = next_task.fetch_add(1, Ordering::Relaxed);
                     }
                     id += 1;
                 });
-                Out { rank, t_fock: start.elapsed().as_secs_f64(), t_comp: comp, quartets }
+                w.event(EventKind::WorkerEnd);
+                let end_t = w.now();
+                rec.counter(QUARTETS_COUNTER).add(quartets);
+                Out {
+                    rank,
+                    t_fock: start.elapsed().as_secs_f64(),
+                    t_comp: comp,
+                    quartets,
+                    end_t,
+                }
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
-    let mut report = NwchemReport {
-        t_fock: vec![0.0; cfg.nprocs],
-        t_comp: vec![0.0; cfg.nprocs],
-        quartets: vec![0; cfg.nprocs],
-        queue_accesses: queue_accesses.load(Ordering::Relaxed),
-        comm: vec![CommStats::default(); cfg.nprocs],
-    };
+    let mut report = BuildReport::zeros(cfg.nprocs);
+    report.queue_accesses = queue_accesses.load(Ordering::Relaxed);
+    let t_last = outs.iter().map(|o| o.end_t).fold(0.0, f64::max);
     for o in outs {
         report.t_fock[o.rank] = o.t_fock;
         report.t_comp[o.rank] = o.t_comp;
@@ -335,6 +362,15 @@ pub fn build_fock_nwchem(
         let mut c = ga_d.stats(o.rank);
         c.merge(&ga_f.stats(o.rank));
         report.comm[o.rank] = c;
+        if rec.is_enabled() {
+            rec.side_event_at(
+                o.rank,
+                o.end_t,
+                EventKind::BarrierWait {
+                    seconds: t_last - o.end_t,
+                },
+            );
+        }
     }
     (ga_f.to_dense(), report)
 }
@@ -462,7 +498,10 @@ mod tests {
     }
 
     fn max_diff(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -489,7 +528,11 @@ mod tests {
         let (want, wq) = build_g_seq(&prob, &d);
         let (got, rep) = build_fock_nwchem(&prob, &d, NwchemConfig::default());
         assert_eq!(rep.total_quartets(), wq, "quartet count");
-        assert!(max_diff(&want, &got) < 1e-11, "diff {}", max_diff(&want, &got));
+        assert!(
+            max_diff(&want, &got) < 1e-11,
+            "diff {}",
+            max_diff(&want, &got)
+        );
     }
 
     #[test]
@@ -511,8 +554,22 @@ mod tests {
     fn chunk_size_does_not_change_result() {
         let prob = problem();
         let d = density(prob.nbf());
-        let (a, _) = build_fock_nwchem(&prob, &d, NwchemConfig { nprocs: 2, chunk: 1 });
-        let (b, _) = build_fock_nwchem(&prob, &d, NwchemConfig { nprocs: 2, chunk: 7 });
+        let (a, _) = build_fock_nwchem(
+            &prob,
+            &d,
+            NwchemConfig {
+                nprocs: 2,
+                chunk: 1,
+            },
+        );
+        let (b, _) = build_fock_nwchem(
+            &prob,
+            &d,
+            NwchemConfig {
+                nprocs: 2,
+                chunk: 7,
+            },
+        );
         assert!(max_diff(&a, &b) < 1e-11);
     }
 
@@ -520,7 +577,14 @@ mod tests {
     fn queue_access_counting() {
         let prob = problem();
         let d = density(prob.nbf());
-        let (_, rep) = build_fock_nwchem(&prob, &d, NwchemConfig { nprocs: 2, chunk: 5 });
+        let (_, rep) = build_fock_nwchem(
+            &prob,
+            &d,
+            NwchemConfig {
+                nprocs: 2,
+                chunk: 5,
+            },
+        );
         // At least one access per process, and roughly one per task.
         assert!(rep.queue_accesses >= 2);
     }
@@ -535,11 +599,21 @@ mod tests {
         )
         .unwrap();
         let d = density(prob.nbf());
-        let (a, _) = build_fock_nwchem(&prob, &d, NwchemConfig { nprocs: 3, chunk: 5 });
+        let (a, _) = build_fock_nwchem(
+            &prob,
+            &d,
+            NwchemConfig {
+                nprocs: 3,
+                chunk: 5,
+            },
+        );
         let (b, _) = crate::gtfock::build_fock_gtfock(
             &prob,
             &d,
-            crate::gtfock::GtfockConfig { grid: distrt::ProcessGrid::new(2, 2), steal: true },
+            crate::gtfock::GtfockConfig {
+                grid: distrt::ProcessGrid::new(2, 2),
+                steal: true,
+            },
         );
         assert!(max_diff(&a, &b) < 1e-10, "diff {}", max_diff(&a, &b));
     }

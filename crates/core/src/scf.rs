@@ -8,9 +8,7 @@
 //! G(D) = 2J(D) − K(D) so that F = H_core + G and
 //! E_elec = Σ_ij D_ij (H_ij + F_ij).
 
-use crate::gtfock::{build_fock_gtfock, GtfockConfig};
-use crate::nwchem::{build_fock_nwchem, NwchemConfig};
-use crate::seq::build_g_seq;
+use crate::build::{seq_builder, FockBuild};
 use crate::tasks::FockProblem;
 use chem::molecule::Molecule;
 use chem::reorder::ShellOrdering;
@@ -20,17 +18,8 @@ use linalg::eig::{inverse_sqrt, sym_eig};
 use linalg::gemm::{gemm, gemm_nt, gemm_tn};
 use linalg::purify::purify_canonical;
 use linalg::Mat;
-
-/// Which Fock builder the SCF loop uses. All produce identical F.
-#[derive(Debug, Clone, Copy)]
-pub enum FockBuilder {
-    /// Sequential reference.
-    Seq,
-    /// GTFock on a thread-backed virtual grid.
-    Gtfock(GtfockConfig),
-    /// NWChem-style baseline.
-    Nwchem(NwchemConfig),
-}
+use obs::{EventKind, Recorder};
+use std::sync::Arc;
 
 /// How the density is obtained from F each iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,8 +30,9 @@ pub enum DensityMethod {
     Purification,
 }
 
-/// SCF configuration.
-#[derive(Debug, Clone, Copy)]
+/// SCF configuration. Construct with [`ScfConfig::default`] plus struct
+/// update syntax, or fluently with [`ScfConfig::builder`].
+#[derive(Clone)]
 pub struct ScfConfig {
     pub max_iter: usize,
     /// Accelerate convergence with DIIS (Pulay) extrapolation.
@@ -66,8 +56,32 @@ pub struct ScfConfig {
     /// Screening tolerance τ.
     pub tau: f64,
     pub ordering: ShellOrdering,
-    pub builder: FockBuilder,
+    /// The Fock builder the loop calls each iteration. Any
+    /// [`FockBuild`] implementation; defaults to the sequential
+    /// reference.
+    pub builder: Arc<dyn FockBuild + Send + Sync>,
     pub density: DensityMethod,
+    /// Telemetry sink threaded into every Fock build; iteration
+    /// boundaries are recorded as side events. Disabled by default.
+    pub recorder: Recorder,
+}
+
+impl std::fmt::Debug for ScfConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScfConfig")
+            .field("max_iter", &self.max_iter)
+            .field("use_diis", &self.use_diis)
+            .field("incremental", &self.incremental)
+            .field("damping", &self.damping)
+            .field("level_shift", &self.level_shift)
+            .field("e_tol", &self.e_tol)
+            .field("d_tol", &self.d_tol)
+            .field("tau", &self.tau)
+            .field("builder", &self.builder.name())
+            .field("density", &self.density)
+            .field("recording", &self.recorder.is_enabled())
+            .finish()
+    }
 }
 
 impl Default for ScfConfig {
@@ -82,9 +96,92 @@ impl Default for ScfConfig {
             d_tol: 1e-6,
             tau: 1e-11,
             ordering: ShellOrdering::Natural,
-            builder: FockBuilder::Seq,
+            builder: seq_builder(),
             density: DensityMethod::Diagonalize,
+            recorder: Recorder::disabled(),
         }
+    }
+}
+
+impl ScfConfig {
+    /// Fluent construction: `ScfConfig::builder().max_iter(30).diis(true).build()`.
+    pub fn builder() -> ScfConfigBuilder {
+        ScfConfigBuilder {
+            cfg: ScfConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ScfConfig`]. Starts from the defaults, so callers set
+/// only what they need and new fields never break existing call sites.
+#[derive(Debug, Clone, Default)]
+pub struct ScfConfigBuilder {
+    cfg: ScfConfig,
+}
+
+impl ScfConfigBuilder {
+    pub fn max_iter(mut self, n: usize) -> Self {
+        self.cfg.max_iter = n;
+        self
+    }
+
+    pub fn diis(mut self, on: bool) -> Self {
+        self.cfg.use_diis = on;
+        self
+    }
+
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.cfg.incremental = on;
+        self
+    }
+
+    pub fn damping(mut self, frac: f64) -> Self {
+        self.cfg.damping = frac;
+        self
+    }
+
+    pub fn level_shift(mut self, shift: f64) -> Self {
+        self.cfg.level_shift = shift;
+        self
+    }
+
+    pub fn e_tol(mut self, tol: f64) -> Self {
+        self.cfg.e_tol = tol;
+        self
+    }
+
+    pub fn d_tol(mut self, tol: f64) -> Self {
+        self.cfg.d_tol = tol;
+        self
+    }
+
+    pub fn tau(mut self, tau: f64) -> Self {
+        self.cfg.tau = tau;
+        self
+    }
+
+    pub fn ordering(mut self, ordering: ShellOrdering) -> Self {
+        self.cfg.ordering = ordering;
+        self
+    }
+
+    pub fn fock_builder(mut self, b: Arc<dyn FockBuild + Send + Sync>) -> Self {
+        self.cfg.builder = b;
+        self
+    }
+
+    pub fn density(mut self, method: DensityMethod) -> Self {
+        self.cfg.density = method;
+        self
+    }
+
+    pub fn recorder(mut self, rec: Recorder) -> Self {
+        self.cfg.recorder = rec;
+        self
+    }
+
+    pub fn build(self) -> ScfConfig {
+        self.cfg
     }
 }
 
@@ -123,13 +220,19 @@ impl ScfResult {
 }
 
 /// Run restricted Hartree-Fock for a closed-shell molecule.
-pub fn run_scf(molecule: Molecule, kind: BasisSetKind, cfg: ScfConfig) -> Result<ScfResult, String> {
+pub fn run_scf(
+    molecule: Molecule,
+    kind: BasisSetKind,
+    cfg: ScfConfig,
+) -> Result<ScfResult, String> {
     let nocc = molecule.nocc();
     let e_nuc = molecule.nuclear_repulsion();
     let prob = FockProblem::new(molecule, kind, cfg.tau, cfg.ordering)?;
     let nbf = prob.nbf();
     if nocc > nbf {
-        return Err(format!("{nocc} occupied orbitals exceed {nbf} basis functions"));
+        return Err(format!(
+            "{nocc} occupied orbitals exceed {nbf} basis functions"
+        ));
     }
 
     let s = Mat::from_vec(nbf, nbf, oneints::overlap_matrix(&prob.basis));
@@ -149,15 +252,19 @@ pub fn run_scf(molecule: Molecule, kind: BasisSetKind, cfg: ScfConfig) -> Result
     let mut d_prev = Mat::zeros(nbf, nbf);
     for it in 0..cfg.max_iter {
         iterations = it + 1;
+        if cfg.recorder.is_enabled() {
+            cfg.recorder
+                .side_event(0, EventKind::IterStart { iter: it as u32 });
+        }
         let g = if cfg.incremental && it > 0 {
             // G(D) = G(D_prev) + G(D - D_prev).
             let mut delta = d.clone();
             delta.axpy(-1.0, &d_prev);
-            let mut g = build_g(&prob, &delta, cfg.builder);
+            let mut g = build_g(&prob, &delta, &cfg);
             g.axpy(1.0, &g_prev);
             g
         } else {
-            build_g(&prob, &d, cfg.builder)
+            build_g(&prob, &d, &cfg)
         };
         if cfg.incremental {
             g_prev = g.clone();
@@ -168,7 +275,11 @@ pub fn run_scf(molecule: Molecule, kind: BasisSetKind, cfg: ScfConfig) -> Result
 
         // E_elec = Σ D (H + F).
         let mut e_elec = 0.0;
-        for (dij, (hij, fij)) in d.as_slice().iter().zip(h.as_slice().iter().zip(fock.as_slice())) {
+        for (dij, (hij, fij)) in d
+            .as_slice()
+            .iter()
+            .zip(h.as_slice().iter().zip(fock.as_slice()))
+        {
             e_elec += dij * (hij + fij);
         }
         let energy = e_elec + e_nuc;
@@ -197,6 +308,10 @@ pub fn run_scf(molecule: Molecule, kind: BasisSetKind, cfg: ScfConfig) -> Result
         let e_change = (energy - e_prev).abs();
         d = d_new;
         e_prev = energy;
+        if cfg.recorder.is_enabled() {
+            cfg.recorder
+                .side_event(0, EventKind::IterEnd { iter: it as u32 });
+        }
         if e_change < cfg.e_tol && d_change < cfg.d_tol {
             converged = true;
             break;
@@ -229,21 +344,21 @@ pub fn density_from_fock(f: &Mat, x: &Mat, nocc: usize, method: DensityMethod) -
             }
             gemm_nt(&occ, &occ)
         }
-        DensityMethod::Purification => {
-            purify_canonical(&f_ortho, nocc, 1e-14, 200).density
-        }
+        DensityMethod::Purification => purify_canonical(&f_ortho, nocc, 1e-14, 200).density,
     };
-    gemm(1.0, &gemm(1.0, x, &d_ortho, 0.0, None), &x.transpose(), 0.0, None)
+    gemm(
+        1.0,
+        &gemm(1.0, x, &d_ortho, 0.0, None),
+        &x.transpose(),
+        0.0,
+        None,
+    )
 }
 
-fn build_g(prob: &FockProblem, d: &Mat, builder: FockBuilder) -> Mat {
+fn build_g(prob: &FockProblem, d: &Mat, cfg: &ScfConfig) -> Mat {
     let nbf = prob.nbf();
-    let g = match builder {
-        FockBuilder::Seq => build_g_seq(prob, d.as_slice()).0,
-        FockBuilder::Gtfock(cfg) => build_fock_gtfock(prob, d.as_slice(), cfg).0,
-        FockBuilder::Nwchem(cfg) => build_fock_nwchem(prob, d.as_slice(), cfg).0,
-    };
-    Mat::from_vec(nbf, nbf, g)
+    let out = cfg.builder.build(prob, d.as_slice(), &cfg.recorder);
+    Mat::from_vec(nbf, nbf, out.g)
 }
 
 #[cfg(test)]
@@ -255,8 +370,12 @@ mod tests {
     #[test]
     fn h2_sto3g_energy_matches_szabo() {
         // Szabo & Ostlund: RHF/STO-3G for H2 at R = 1.4 a0 → E ≈ −1.1167 Ha.
-        let r = run_scf(generators::hydrogen(1.4), BasisSetKind::Sto3g, ScfConfig::default())
-            .unwrap();
+        let r = run_scf(
+            generators::hydrogen(1.4),
+            BasisSetKind::Sto3g,
+            ScfConfig::default(),
+        )
+        .unwrap();
         assert!(r.converged, "SCF did not converge");
         assert!((r.energy - (-1.1167)).abs() < 2e-3, "E = {}", r.energy);
     }
@@ -264,7 +383,12 @@ mod tests {
     #[test]
     fn helium_sto3g_energy() {
         // Known RHF/STO-3G He atom energy: −2.807784 Ha.
-        let r = run_scf(generators::helium(), BasisSetKind::Sto3g, ScfConfig::default()).unwrap();
+        let r = run_scf(
+            generators::helium(),
+            BasisSetKind::Sto3g,
+            ScfConfig::default(),
+        )
+        .unwrap();
         assert!(r.converged);
         assert!((r.energy - (-2.807784)).abs() < 1e-4, "E = {}", r.energy);
     }
@@ -272,7 +396,12 @@ mod tests {
     #[test]
     fn water_sto3g_energy() {
         // RHF/STO-3G water at the near-experimental geometry ≈ −74.96 Ha.
-        let r = run_scf(generators::water(), BasisSetKind::Sto3g, ScfConfig::default()).unwrap();
+        let r = run_scf(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            ScfConfig::default(),
+        )
+        .unwrap();
         assert!(r.converged, "did not converge in {} iters", r.iterations);
         assert!((r.energy - (-74.96)).abs() < 2e-2, "E = {}", r.energy);
     }
@@ -280,42 +409,69 @@ mod tests {
     #[test]
     fn h2_ccpvdz_lower_than_sto3g() {
         // The variational principle: a bigger basis gives a lower energy.
-        let small = run_scf(generators::hydrogen(1.4), BasisSetKind::Sto3g, ScfConfig::default())
-            .unwrap();
-        let big = run_scf(generators::hydrogen(1.4), BasisSetKind::CcPvdz, ScfConfig::default())
-            .unwrap();
+        let small = run_scf(
+            generators::hydrogen(1.4),
+            BasisSetKind::Sto3g,
+            ScfConfig::default(),
+        )
+        .unwrap();
+        let big = run_scf(
+            generators::hydrogen(1.4),
+            BasisSetKind::CcPvdz,
+            ScfConfig::default(),
+        )
+        .unwrap();
         assert!(big.converged);
-        assert!(big.energy < small.energy, "{} !< {}", big.energy, small.energy);
+        assert!(
+            big.energy < small.energy,
+            "{} !< {}",
+            big.energy,
+            small.energy
+        );
     }
 
     #[test]
     fn purification_agrees_with_diagonalization() {
         let base = ScfConfig::default();
-        let diag = run_scf(generators::water(), BasisSetKind::Sto3g, base).unwrap();
+        let diag = run_scf(generators::water(), BasisSetKind::Sto3g, base.clone()).unwrap();
         let pur = run_scf(
             generators::water(),
             BasisSetKind::Sto3g,
-            ScfConfig { density: DensityMethod::Purification, ..base },
+            ScfConfig {
+                density: DensityMethod::Purification,
+                ..base
+            },
         )
         .unwrap();
         assert!(pur.converged);
-        assert!((diag.energy - pur.energy).abs() < 1e-6, "{} vs {}", diag.energy, pur.energy);
+        assert!(
+            (diag.energy - pur.energy).abs() < 1e-6,
+            "{} vs {}",
+            diag.energy,
+            pur.energy
+        );
     }
 
     #[test]
     fn parallel_builders_agree_with_seq() {
-        let base = ScfConfig { max_iter: 12, ..ScfConfig::default() };
-        let seq = run_scf(generators::water(), BasisSetKind::Sto3g, base).unwrap();
+        use crate::build::{gtfock_builder, nwchem_builder};
+        use crate::gtfock::GtfockConfig;
+        use crate::nwchem::NwchemConfig;
+        let base = ScfConfig {
+            max_iter: 12,
+            ..ScfConfig::default()
+        };
+        let seq = run_scf(generators::water(), BasisSetKind::Sto3g, base.clone()).unwrap();
         let gt = run_scf(
             generators::water(),
             BasisSetKind::Sto3g,
             ScfConfig {
-                builder: FockBuilder::Gtfock(GtfockConfig {
+                builder: gtfock_builder(GtfockConfig {
                     grid: ProcessGrid::new(2, 2),
                     steal: true,
                 }),
                 ordering: ShellOrdering::cells_default(),
-                ..base
+                ..base.clone()
             },
         )
         .unwrap();
@@ -323,26 +479,89 @@ mod tests {
             generators::water(),
             BasisSetKind::Sto3g,
             ScfConfig {
-                builder: FockBuilder::Nwchem(NwchemConfig { nprocs: 2, chunk: 5 }),
+                builder: nwchem_builder(NwchemConfig {
+                    nprocs: 2,
+                    chunk: 5,
+                }),
                 ..base
             },
         )
         .unwrap();
-        assert!((seq.energy - gt.energy).abs() < 1e-8, "gtfock {} vs {}", gt.energy, seq.energy);
-        assert!((seq.energy - nw.energy).abs() < 1e-8, "nwchem {} vs {}", nw.energy, seq.energy);
+        assert!(
+            (seq.energy - gt.energy).abs() < 1e-8,
+            "gtfock {} vs {}",
+            gt.energy,
+            seq.energy
+        );
+        assert!(
+            (seq.energy - nw.energy).abs() < 1e-8,
+            "nwchem {} vs {}",
+            nw.energy,
+            seq.energy
+        );
+    }
+
+    #[test]
+    fn builder_pattern_matches_struct_literal() {
+        let fluent = ScfConfig::builder()
+            .max_iter(30)
+            .diis(true)
+            .damping(0.1)
+            .tau(1e-10)
+            .build();
+        assert_eq!(fluent.max_iter, 30);
+        assert!(fluent.use_diis);
+        assert_eq!(fluent.damping, 0.1);
+        assert_eq!(fluent.tau, 1e-10);
+        // Untouched fields keep the defaults.
+        let def = ScfConfig::default();
+        assert_eq!(fluent.e_tol, def.e_tol);
+        assert_eq!(fluent.builder.name(), "seq");
+    }
+
+    #[test]
+    fn scf_records_iteration_events() {
+        let rec = Recorder::enabled();
+        let cfg = ScfConfig::builder().recorder(rec.clone()).build();
+        let r = run_scf(generators::hydrogen(1.4), BasisSetKind::Sto3g, cfg).unwrap();
+        assert!(r.converged);
+        let recording = rec.recording().unwrap();
+        let iters = recording
+            .all_events()
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e.kind, EventKind::IterStart { .. }))
+            .count();
+        assert_eq!(iters, r.iterations);
+        // The seq builder ran inside: task events must be present.
+        let tasks: u64 = recording.worker_totals().iter().map(|t| t.tasks).sum();
+        assert!(tasks > 0);
     }
 
     #[test]
     fn diis_reaches_same_energy_at_least_as_fast() {
-        let plain = run_scf(generators::water(), BasisSetKind::Sto3g, ScfConfig::default()).unwrap();
+        let plain = run_scf(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            ScfConfig::default(),
+        )
+        .unwrap();
         let accel = run_scf(
             generators::water(),
             BasisSetKind::Sto3g,
-            ScfConfig { use_diis: true, ..ScfConfig::default() },
+            ScfConfig {
+                use_diis: true,
+                ..ScfConfig::default()
+            },
         )
         .unwrap();
         assert!(accel.converged);
-        assert!((plain.energy - accel.energy).abs() < 1e-7, "{} vs {}", plain.energy, accel.energy);
+        assert!(
+            (plain.energy - accel.energy).abs() < 1e-7,
+            "{} vs {}",
+            plain.energy,
+            accel.energy
+        );
         assert!(
             accel.iterations <= plain.iterations + 2,
             "DIIS took {} vs plain {}",
@@ -354,39 +573,75 @@ mod tests {
     #[test]
     fn water_631g_below_sto3g() {
         // 6-31G is variationally better than STO-3G for water.
-        let small = run_scf(generators::water(), BasisSetKind::Sto3g, ScfConfig::default()).unwrap();
+        let small = run_scf(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            ScfConfig::default(),
+        )
+        .unwrap();
         let mid = run_scf(
             generators::water(),
             BasisSetKind::SixThirtyOneG,
-            ScfConfig { use_diis: true, ..ScfConfig::default() },
+            ScfConfig {
+                use_diis: true,
+                ..ScfConfig::default()
+            },
         )
         .unwrap();
         assert!(mid.converged);
-        assert!(mid.energy < small.energy, "{} !< {}", mid.energy, small.energy);
+        assert!(
+            mid.energy < small.energy,
+            "{} !< {}",
+            mid.energy,
+            small.energy
+        );
         // Literature RHF/6-31G water ≈ −75.98 Ha at near-experimental geometry.
         assert!((mid.energy - (-75.98)).abs() < 5e-2, "E = {}", mid.energy);
     }
 
     #[test]
     fn incremental_build_converges_to_same_energy() {
-        let plain = run_scf(generators::water(), BasisSetKind::Sto3g, ScfConfig::default()).unwrap();
+        let plain = run_scf(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            ScfConfig::default(),
+        )
+        .unwrap();
         let inc = run_scf(
             generators::water(),
             BasisSetKind::Sto3g,
-            ScfConfig { incremental: true, ..ScfConfig::default() },
+            ScfConfig {
+                incremental: true,
+                ..ScfConfig::default()
+            },
         )
         .unwrap();
         assert!(inc.converged);
-        assert!((plain.energy - inc.energy).abs() < 1e-7, "{} vs {}", plain.energy, inc.energy);
+        assert!(
+            (plain.energy - inc.energy).abs() < 1e-7,
+            "{} vs {}",
+            plain.energy,
+            inc.energy
+        );
     }
 
     #[test]
     fn damping_and_level_shift_converge_to_same_energy() {
-        let plain = run_scf(generators::water(), BasisSetKind::Sto3g, ScfConfig::default()).unwrap();
+        let plain = run_scf(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            ScfConfig::default(),
+        )
+        .unwrap();
         let stabilized = run_scf(
             generators::water(),
             BasisSetKind::Sto3g,
-            ScfConfig { damping: 0.3, level_shift: 0.2, max_iter: 200, ..ScfConfig::default() },
+            ScfConfig {
+                damping: 0.3,
+                level_shift: 0.2,
+                max_iter: 200,
+                ..ScfConfig::default()
+            },
         )
         .unwrap();
         assert!(stabilized.converged, "stabilized run failed to converge");
@@ -404,7 +659,12 @@ mod tests {
     fn water_dipole_moment_sto3g() {
         // RHF/STO-3G water dipole ≈ 0.60–0.70 a.u. (1.5–1.8 D), directed
         // along the C₂ᵥ symmetry axis (z in our geometry).
-        let r = run_scf(generators::water(), BasisSetKind::Sto3g, ScfConfig::default()).unwrap();
+        let r = run_scf(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            ScfConfig::default(),
+        )
+        .unwrap();
         let mu = r.dipole_moment();
         assert!(mu.x.abs() < 1e-6, "x component {:.2e}", mu.x);
         assert!(mu.y.abs() < 1e-6, "y component {:.2e}", mu.y);
@@ -413,8 +673,12 @@ mod tests {
 
     #[test]
     fn homonuclear_dipole_vanishes() {
-        let r = run_scf(generators::hydrogen(1.4), BasisSetKind::Sto3g, ScfConfig::default())
-            .unwrap();
+        let r = run_scf(
+            generators::hydrogen(1.4),
+            BasisSetKind::Sto3g,
+            ScfConfig::default(),
+        )
+        .unwrap();
         let mu = r.dipole_moment();
         // H2 centred off-origin still has zero dipole: electronic and
         // nuclear parts cancel exactly by symmetry.
@@ -424,7 +688,12 @@ mod tests {
     #[test]
     fn energy_monotone_after_first_iters() {
         // Roothaan iterations on these small closed-shell systems descend.
-        let r = run_scf(generators::water(), BasisSetKind::Sto3g, ScfConfig::default()).unwrap();
+        let r = run_scf(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            ScfConfig::default(),
+        )
+        .unwrap();
         for w in r.history.windows(2).skip(1) {
             assert!(w[1] <= w[0] + 1e-6, "energy rose: {} -> {}", w[0], w[1]);
         }

@@ -11,9 +11,12 @@
 //!   what the parallel algorithms must match bit-for-bit in exact
 //!   arithmetic (and to ~1e-12 in floating point).
 
+use crate::build::{BuildOutcome, BuildReport, QUARTETS_COUNTER};
 use crate::sink::{do_task, DenseSink, FockSink};
 use crate::tasks::FockProblem;
 use eri::EriEngine;
+use obs::{EventKind, Recorder};
+use std::time::Instant;
 
 /// Brute-force G(D): all n⁴ ordered quartets, identity image only.
 pub fn build_g_bruteforce(prob: &FockProblem, d: &[f64]) -> Vec<f64> {
@@ -39,7 +42,12 @@ pub fn build_g_bruteforce(prob: &FockProblem, d: &[f64]) -> Vec<f64> {
     f
 }
 
-fn apply_identity<S: FockSink>(sink: &mut S, prob: &FockProblem, shells: [usize; 4], block: &[f64]) {
+fn apply_identity<S: FockSink>(
+    sink: &mut S,
+    prob: &FockProblem,
+    shells: [usize; 4],
+    block: &[f64],
+) {
     let sh = &prob.basis.shells;
     let dims = [
         sh[shells[0]].nfuncs(),
@@ -72,6 +80,15 @@ fn apply_identity<S: FockSink>(sink: &mut S, prob: &FockProblem, shells: [usize;
 /// Sequential production build of G(D) = 2J − K using unique quartets,
 /// screening, and image expansion. Returns (G, quartets computed).
 pub fn build_g_seq(prob: &FockProblem, d: &[f64]) -> (Vec<f64>, u64) {
+    let out = build_g_seq_rec(prob, d, &Recorder::disabled());
+    let quartets = out.report.total_quartets();
+    (out.g, quartets)
+}
+
+/// [`build_g_seq`] with telemetry: one worker lane (rank 0) records a
+/// start/end event per task, and the report carries the single-process
+/// totals the parallel builders also produce.
+pub fn build_g_seq_rec(prob: &FockProblem, d: &[f64], rec: &Recorder) -> BuildOutcome {
     let nbf = prob.nbf();
     assert_eq!(d.len(), nbf * nbf);
     let mut f = vec![0.0; nbf * nbf];
@@ -79,13 +96,28 @@ pub fn build_g_seq(prob: &FockProblem, d: &[f64]) -> (Vec<f64>, u64) {
     let mut scratch = Vec::new();
     let mut quartets = 0;
     let n = prob.nshells();
+    let mut w = rec.worker(0);
+    w.event(EventKind::WorkerStart);
+    let start = Instant::now();
     let mut sink = DenseSink { nbf, d, f: &mut f };
     for m in 0..n {
         for nn in 0..n {
-            quartets += do_task(&mut sink, prob, &mut eng, &mut scratch, m, nn);
+            w.task_start(m, nn);
+            let q = do_task(&mut sink, prob, &mut eng, &mut scratch, m, nn);
+            w.task_end(m, nn, q);
+            quartets += q;
         }
     }
-    (f, quartets)
+    let t_fock = start.elapsed().as_secs_f64();
+    w.event(EventKind::WorkerEnd);
+    drop(w);
+    rec.counter(QUARTETS_COUNTER).add(quartets);
+
+    let mut report = BuildReport::zeros(1);
+    report.t_fock[0] = t_fock;
+    report.t_comp[0] = t_fock;
+    report.quartets[0] = quartets;
+    BuildOutcome { g: f, report }
 }
 
 #[cfg(test)]
@@ -99,7 +131,9 @@ mod tests {
         // Symmetric pseudo-random density-like matrix.
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut d = vec![0.0; nbf * nbf];
@@ -114,7 +148,10 @@ mod tests {
     }
 
     fn max_diff(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -150,7 +187,11 @@ mod tests {
         let d = test_density(prob.nbf(), 5);
         let brute = build_g_bruteforce(&prob, &d);
         let (seq, _) = build_g_seq(&prob, &d);
-        assert!(max_diff(&brute, &seq) < 1e-10, "mismatch {}", max_diff(&brute, &seq));
+        assert!(
+            max_diff(&brute, &seq) < 1e-10,
+            "mismatch {}",
+            max_diff(&brute, &seq)
+        );
     }
 
     #[test]

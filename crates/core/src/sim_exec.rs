@@ -20,6 +20,7 @@ use crate::partition::StaticPartition;
 use crate::tasks::{symmetry_check, FockProblem};
 use distrt::{MachineParams, ProcessGrid, Sim};
 use eri::CostModel;
+use obs::{EventKind, Recorder};
 use rayon::prelude::*;
 
 /// Per-virtual-process outcome of a simulated build.
@@ -55,7 +56,10 @@ pub struct SimResult {
 
 impl SimResult {
     pub fn t_fock_max(&self) -> f64 {
-        self.per_process.iter().map(|p| p.t_fock).fold(0.0, f64::max)
+        self.per_process
+            .iter()
+            .map(|p| p.t_fock)
+            .fold(0.0, f64::max)
     }
 
     pub fn t_fock_avg(&self) -> f64 {
@@ -83,9 +87,7 @@ impl SimResult {
 
     /// Average MB per process (Table VI).
     pub fn avg_mbytes(&self) -> f64 {
-        self.per_process.iter().map(|p| p.bytes).sum::<u64>() as f64
-            / self.nprocs as f64
-            / 1.0e6
+        self.per_process.iter().map(|p| p.bytes).sum::<u64>() as f64 / self.nprocs as f64 / 1.0e6
     }
 
     /// Average one-sided calls per process (Table VII).
@@ -130,12 +132,20 @@ pub struct StealConfig {
 impl StealConfig {
     /// The paper's scheduler: row-scan, steal half.
     pub fn paper() -> Self {
-        StealConfig { enabled: true, policy: VictimPolicy::RowScan, fraction: 0.5 }
+        StealConfig {
+            enabled: true,
+            policy: VictimPolicy::RowScan,
+            fraction: 0.5,
+        }
     }
 
     /// Static partitioning only (the ablation baseline).
     pub fn disabled() -> Self {
-        StealConfig { enabled: false, policy: VictimPolicy::RowScan, fraction: 0.5 }
+        StealConfig {
+            enabled: false,
+            policy: VictimPolicy::RowScan,
+            fraction: 0.5,
+        }
     }
 }
 
@@ -268,8 +278,18 @@ impl<'a> GtfockSimModel<'a> {
                 task_cost[m * n + nn] += (tests * T_SCREEN) as f32;
             }
         }
-        let funcs = prob.basis.shells.iter().map(|s| s.nfuncs() as u32).collect();
-        GtfockSimModel { prob, task_cost, task_quartets, funcs }
+        let funcs = prob
+            .basis
+            .shells
+            .iter()
+            .map(|s| s.nfuncs() as u32)
+            .collect();
+        GtfockSimModel {
+            prob,
+            task_cost,
+            task_quartets,
+            funcs,
+        }
     }
 
     /// Total single-core compute seconds over all tasks.
@@ -326,7 +346,11 @@ impl<'a> GtfockSimModel<'a> {
     /// paper's scheduler (row-scan, steal half) or stealing disabled.
     /// GTFock runs one process per node (`machine.cores_per_node` threads).
     pub fn simulate(&self, machine: MachineParams, ncores: usize, steal: bool) -> SimResult {
-        let cfg = if steal { StealConfig::paper() } else { StealConfig::disabled() };
+        let cfg = if steal {
+            StealConfig::paper()
+        } else {
+            StealConfig::disabled()
+        };
         self.simulate_opts(machine, ncores, cfg)
     }
 
@@ -337,7 +361,25 @@ impl<'a> GtfockSimModel<'a> {
         ncores: usize,
         steal: StealConfig,
     ) -> SimResult {
-        assert!(steal.fraction > 0.0 && steal.fraction <= 1.0, "steal fraction in (0, 1]");
+        self.simulate_opts_rec(machine, ncores, steal, &Recorder::disabled())
+    }
+
+    /// [`Self::simulate_opts`] with telemetry: every simulated process gets
+    /// a per-rank event stream (task start/end, steal attempt/success with
+    /// victim rank, D-prefetch, F-flush) stamped with *simulated* time via
+    /// [`Recorder::side_event_at`]. The DES runs single-threaded, so the
+    /// side streams cost one mutex lock per event with zero contention.
+    pub fn simulate_opts_rec(
+        &self,
+        machine: MachineParams,
+        ncores: usize,
+        steal: StealConfig,
+        rec: &Recorder,
+    ) -> SimResult {
+        assert!(
+            steal.fraction > 0.0 && steal.fraction <= 1.0,
+            "steal fraction in (0, 1]"
+        );
         let nodes = (ncores / machine.cores_per_node).max(1);
         let threads = machine.cores_per_node.min(ncores);
         let grid = ProcessGrid::squarest(nodes);
@@ -347,7 +389,11 @@ impl<'a> GtfockSimModel<'a> {
 
         // Task queues: per rank, a list of task ids with a head cursor.
         let mut queues: Vec<Vec<u32>> = (0..nprocs)
-            .map(|r| part.tasks_of(r).map(|(m, nn)| (m * n + nn) as u32).collect())
+            .map(|r| {
+                part.tasks_of(r)
+                    .map(|(m, nn)| (m * n + nn) as u32)
+                    .collect()
+            })
             .collect();
         let mut heads = vec![0usize; nprocs];
 
@@ -363,6 +409,10 @@ impl<'a> GtfockSimModel<'a> {
             out[rank].t_comm += t;
             out[rank].bytes += b;
             out[rank].calls += c;
+            if rec.is_enabled() {
+                rec.side_event_at(rank, 0.0, EventKind::WorkerStart);
+                rec.side_event_at(rank, t, EventKind::DPrefetch { bytes: b, calls: c });
+            }
             sim.schedule(t, rank);
         }
 
@@ -379,6 +429,26 @@ impl<'a> GtfockSimModel<'a> {
                 let cost = self.task_cost[task] as f64;
                 out[rank].t_comp += cost / threads as f64;
                 out[rank].tasks += 1;
+                if rec.is_enabled() {
+                    let (m, nn) = (task / n, task % n);
+                    rec.side_event_at(
+                        rank,
+                        now,
+                        EventKind::TaskStart {
+                            m: m as u32,
+                            n: nn as u32,
+                        },
+                    );
+                    rec.side_event_at(
+                        rank,
+                        now + cost / threads as f64,
+                        EventKind::TaskEnd {
+                            m: m as u32,
+                            n: nn as u32,
+                            quartets: self.task_quartets[task],
+                        },
+                    );
+                }
                 sim.schedule(now + cost / threads as f64, rank);
                 continue;
             }
@@ -399,9 +469,7 @@ impl<'a> GtfockSimModel<'a> {
                             }
                         }
                         if found.is_none() {
-                            found = grid
-                                .steal_order(rank)
-                                .find(|&v| heads[v] < queues[v].len());
+                            found = grid.steal_order(rank).find(|&v| heads[v] < queues[v].len());
                         }
                     }
                     VictimPolicy::Random { seed } => {
@@ -423,9 +491,7 @@ impl<'a> GtfockSimModel<'a> {
                             }
                         }
                         if found.is_none() {
-                            found = grid
-                                .steal_order(rank)
-                                .find(|&v| heads[v] < queues[v].len());
+                            found = grid.steal_order(rank).find(|&v| heads[v] < queues[v].len());
                         }
                     }
                     VictimPolicy::MaxQueue => {
@@ -438,8 +504,19 @@ impl<'a> GtfockSimModel<'a> {
                     // Steal the configured fraction of the victim's
                     // remaining tasks (at least one).
                     let remaining = queues[v].len() - heads[v];
-                    let take = ((remaining as f64 * steal.fraction).ceil() as usize)
-                        .clamp(1, remaining);
+                    let take =
+                        ((remaining as f64 * steal.fraction).ceil() as usize).clamp(1, remaining);
+                    if rec.is_enabled() {
+                        rec.side_event_at(rank, now, EventKind::StealAttempt { victim: v as u32 });
+                        rec.side_event_at(
+                            rank,
+                            now,
+                            EventKind::StealSuccess {
+                                victim: v as u32,
+                                tasks: take as u32,
+                            },
+                        );
+                    }
                     let split_at = queues[v].len() - take;
                     let tail: Vec<u32> = queues[v].split_off(split_at);
                     queues[rank] = tail;
@@ -466,6 +543,26 @@ impl<'a> GtfockSimModel<'a> {
                     let cost = self.task_cost[first] as f64 / threads as f64;
                     out[rank].t_comp += cost;
                     out[rank].tasks += 1;
+                    if rec.is_enabled() {
+                        let (m, nn) = (first / n, first % n);
+                        rec.side_event_at(
+                            rank,
+                            now + t,
+                            EventKind::TaskStart {
+                                m: m as u32,
+                                n: nn as u32,
+                            },
+                        );
+                        rec.side_event_at(
+                            rank,
+                            now + t + cost,
+                            EventKind::TaskEnd {
+                                m: m as u32,
+                                n: nn as u32,
+                                quartets: self.task_quartets[first],
+                            },
+                        );
+                    }
                     sim.schedule(now + t + cost, rank);
                     continue;
                 }
@@ -483,9 +580,24 @@ impl<'a> GtfockSimModel<'a> {
             out[rank].calls += flush_c;
             out[rank].t_fock = now + t;
             out[rank].victims = victims_of[rank].len() as u64;
+            if rec.is_enabled() {
+                rec.side_event_at(
+                    rank,
+                    now + t,
+                    EventKind::FFlush {
+                        bytes: flush_b,
+                        calls: flush_c,
+                    },
+                );
+                rec.side_event_at(rank, now + t, EventKind::WorkerEnd);
+            }
         }
 
-        SimResult { ncores, nprocs, per_process: out }
+        SimResult {
+            ncores,
+            nprocs,
+            per_process: out,
+        }
     }
 }
 
@@ -552,23 +664,25 @@ impl<'a> NwchemSimModel<'a> {
         // the type ids of the atom's shells.
         let atom_type_sig: Vec<Vec<u16>> = (0..nat)
             .map(|a| {
-                let mut v: Vec<u16> =
-                    atoms.shells[a].clone().map(|s| cost.type_of_shell[s]).collect();
+                let mut v: Vec<u16> = atoms.shells[a]
+                    .clone()
+                    .map(|s| cost.type_of_shell[s])
+                    .collect();
                 v.sort_unstable();
                 v
             })
             .collect();
         let mut atom_types: Vec<Vec<u16>> = Vec::new();
         let atom_type: Vec<usize> = (0..nat)
-            .map(|a| {
-                match atom_types.iter().position(|t| *t == atom_type_sig[a]) {
+            .map(
+                |a| match atom_types.iter().position(|t| *t == atom_type_sig[a]) {
                     Some(i) => i,
                     None => {
                         atom_types.push(atom_type_sig[a].clone());
                         atom_types.len() - 1
                     }
-                }
-            })
+                },
+            )
             .collect();
         let ntypes_at = atom_types.len();
         // Atom-pair type = (type(i), type(j)) collapsed.
@@ -650,7 +764,15 @@ impl<'a> NwchemSimModel<'a> {
             })
             .collect();
 
-        NwchemSimModel { prob, atoms, pair_q, avg_cost, pair_type, pair_bytes, natoms: nat }
+        NwchemSimModel {
+            prob,
+            atoms,
+            pair_q,
+            avg_cost,
+            pair_type,
+            pair_bytes,
+            natoms: nat,
+        }
     }
 
     /// Cost + screened quartet count of one atom quartet (I,J,K,L).
@@ -676,8 +798,7 @@ impl<'a> NwchemSimModel<'a> {
             cnt += kk as u64;
         }
         let nptypes = (self.avg_cost.len() as f64).sqrt() as usize;
-        let c = self.avg_cost
-            [self.pair_type[i * nat + j] * nptypes + self.pair_type[k * nat + l]];
+        let c = self.avg_cost[self.pair_type[i * nat + j] * nptypes + self.pair_type[k * nat + l]];
         (c * cnt as f64, cnt)
     }
 
@@ -712,6 +833,19 @@ impl<'a> NwchemSimModel<'a> {
     /// interconnect bandwidth is shared among them; GTFock's one
     /// multithreaded process per node gets the full NIC.
     pub fn simulate(&self, machine: MachineParams, ncores: usize, chunk: usize) -> SimResult {
+        self.simulate_rec(machine, ncores, chunk, &Recorder::disabled())
+    }
+
+    /// [`Self::simulate`] with telemetry: queue accesses, task start/end,
+    /// and per-task block traffic recorded per simulated process with
+    /// simulated timestamps.
+    pub fn simulate_rec(
+        &self,
+        machine: MachineParams,
+        ncores: usize,
+        chunk: usize,
+        rec: &Recorder,
+    ) -> SimResult {
         let nprocs = ncores.max(1);
         let machine = MachineParams {
             bandwidth: machine.bandwidth / machine.cores_per_node.max(1) as f64,
@@ -722,6 +856,9 @@ impl<'a> NwchemSimModel<'a> {
         let mut sim: Sim<usize> = Sim::new();
         let mut queue_free_at = 0.0f64;
         for rank in 0..nprocs {
+            if rec.is_enabled() {
+                rec.side_event_at(rank, 0.0, EventKind::WorkerStart);
+            }
             sim.schedule(0.0, rank);
         }
         let mut done = vec![false; nprocs];
@@ -732,24 +869,32 @@ impl<'a> NwchemSimModel<'a> {
             queue_free_at = begin + service;
             let queue_t = (begin - now) + service;
             out[rank].t_queue += queue_t;
+            if rec.is_enabled() {
+                rec.side_event_at(rank, now + queue_t, EventKind::QueueAccess);
+            }
 
             match gen.next() {
                 None => {
                     if !done[rank] {
                         done[rank] = true;
                         out[rank].t_fock = now + queue_t;
+                        if rec.is_enabled() {
+                            rec.side_event_at(rank, now + queue_t, EventKind::WorkerEnd);
+                        }
                     }
                 }
                 Some((i, j, k, l_lo, l_hi)) => {
                     out[rank].tasks += 1;
                     let mut task_time = queue_t;
+                    let mut task_quartets = 0u64;
+                    let mut task_bytes = 0u64;
                     for l in l_lo..=l_hi {
                         if self.atoms.pair_value(i, j) * self.atoms.pair_value(k, l)
                             <= self.prob.tau
                         {
                             continue;
                         }
-                        let (cost, _cnt) = self.quartet_cost(i, j, k, l);
+                        let (cost, cnt) = self.quartet_cost(i, j, k, l);
                         if cost == 0.0 {
                             continue;
                         }
@@ -760,12 +905,54 @@ impl<'a> NwchemSimModel<'a> {
                         out[rank].bytes += bytes;
                         out[rank].calls += calls;
                         task_time += cost + comm_t;
+                        task_quartets += cnt;
+                        task_bytes += bytes;
+                    }
+                    if rec.is_enabled() {
+                        rec.side_event_at(
+                            rank,
+                            now + queue_t,
+                            EventKind::TaskStart {
+                                m: i as u32,
+                                n: j as u32,
+                            },
+                        );
+                        if task_bytes > 0 {
+                            // Half the traffic is D gets, half F accs.
+                            rec.side_event_at(
+                                rank,
+                                now + task_time,
+                                EventKind::CommGet {
+                                    bytes: task_bytes / 2,
+                                },
+                            );
+                            rec.side_event_at(
+                                rank,
+                                now + task_time,
+                                EventKind::CommAcc {
+                                    bytes: task_bytes / 2,
+                                },
+                            );
+                        }
+                        rec.side_event_at(
+                            rank,
+                            now + task_time,
+                            EventKind::TaskEnd {
+                                m: i as u32,
+                                n: j as u32,
+                                quartets: task_quartets as u32,
+                            },
+                        );
                     }
                     sim.schedule(now + task_time, rank);
                 }
             }
         }
-        SimResult { ncores, nprocs, per_process: out }
+        SimResult {
+            ncores,
+            nprocs,
+            per_process: out,
+        }
     }
 
     /// Total queue accesses a run will make (tasks + one empty poll per
@@ -807,7 +994,15 @@ struct AtomTaskGen<'m, 'p> {
 
 impl<'m, 'p> AtomTaskGen<'m, 'p> {
     fn new(model: &'m NwchemSimModel<'p>, chunk: usize) -> Self {
-        AtomTaskGen { model, chunk, i: 0, j: 0, k: 0, l_lo: 0, fresh_triplet: true }
+        AtomTaskGen {
+            model,
+            chunk,
+            i: 0,
+            j: 0,
+            k: 0,
+            l_lo: 0,
+            fresh_triplet: true,
+        }
     }
 
     /// Next task: (I, J, K, l_lo, l_hi_of_chunk).
@@ -880,8 +1075,8 @@ mod tests {
     use super::*;
     use chem::generators;
     use chem::reorder::ShellOrdering;
-    use chem::BasisSetKind;
     use chem::shells::BasisInstance;
+    use chem::BasisSetKind;
 
     fn setup() -> (FockProblem, CostModel) {
         let prob = FockProblem::new(
@@ -900,7 +1095,10 @@ mod tests {
     fn gtfock_model_quartets_match_screening() {
         let (prob, cost) = setup();
         let model = GtfockSimModel::new(&prob, &cost);
-        assert_eq!(model.total_quartets(), prob.screening.unique_significant_quartets());
+        assert_eq!(
+            model.total_quartets(),
+            prob.screening.unique_significant_quartets()
+        );
         assert!(model.total_cost() > 0.0);
     }
 
@@ -912,7 +1110,11 @@ mod tests {
         for &cores in &[12usize, 48, 192] {
             let r = model.simulate(machine, cores, true);
             let total_tasks: u64 = r.per_process.iter().map(|p| p.tasks).sum();
-            assert_eq!(total_tasks as usize, prob.nshells() * prob.nshells(), "cores={cores}");
+            assert_eq!(
+                total_tasks as usize,
+                prob.nshells() * prob.nshells(),
+                "cores={cores}"
+            );
             // All compute time accounted: sum of t_comp * threads == total.
             let threads = machine.cores_per_node.min(cores) as f64;
             let comp: f64 = r.per_process.iter().map(|p| p.t_comp).sum::<f64>() * threads;
@@ -960,7 +1162,11 @@ mod tests {
                 let r = model.simulate_opts(
                     machine,
                     96,
-                    StealConfig { enabled: true, policy, fraction },
+                    StealConfig {
+                        enabled: true,
+                        policy,
+                        fraction,
+                    },
                 );
                 let tasks: u64 = r.per_process.iter().map(|p| p.tasks).sum();
                 assert_eq!(tasks as usize, total, "{policy:?} f={fraction}");
@@ -978,7 +1184,11 @@ mod tests {
         let maxq = model.simulate_opts(
             machine,
             192,
-            StealConfig { enabled: true, policy: VictimPolicy::MaxQueue, fraction: 0.5 },
+            StealConfig {
+                enabled: true,
+                policy: VictimPolicy::MaxQueue,
+                fraction: 0.5,
+            },
         );
         // Omniscient victim choice should not lose by much.
         assert!(maxq.t_fock_max() <= scan.t_fock_max() * 1.2);
@@ -1016,6 +1226,47 @@ mod tests {
     }
 
     #[test]
+    fn gtfock_sim_recording_matches_outcomes() {
+        let (prob, cost) = setup();
+        let model = GtfockSimModel::new(&prob, &cost);
+        let machine = MachineParams::lonestar();
+        let rec = Recorder::enabled();
+        let r = model.simulate_opts_rec(machine, 48, StealConfig::paper(), &rec);
+        let recording = rec.recording().unwrap();
+        assert_eq!(recording.nworkers(), r.nprocs);
+        let totals = recording.worker_totals();
+        for (p, t) in r.per_process.iter().zip(&totals) {
+            assert_eq!(t.tasks, p.tasks, "rank {}", t.rank);
+            assert_eq!(t.steals, p.steals, "rank {}", t.rank);
+        }
+        let q: u64 = totals.iter().map(|t| t.quartets).sum();
+        assert_eq!(q, model.total_quartets());
+        // Simulated timestamps are monotone per worker and end at t_fock.
+        for (rank, p) in r.per_process.iter().enumerate() {
+            let ev = recording.events(rank);
+            assert!(ev.windows(2).all(|w| w[0].t <= w[1].t));
+            let last = ev.last().unwrap();
+            assert!((last.t - p.t_fock).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nwchem_sim_recording_counts_queue_accesses() {
+        let (prob, cost) = setup();
+        let model = NwchemSimModel::new(&prob, &cost);
+        let machine = MachineParams::lonestar();
+        let rec = Recorder::enabled();
+        let r = model.simulate_rec(machine, 12, 5, &rec);
+        let recording = rec.recording().unwrap();
+        let totals = recording.worker_totals();
+        let tasks: u64 = totals.iter().map(|t| t.tasks).sum();
+        assert_eq!(tasks, model.total_tasks(5));
+        // One queue access per task plus the final empty poll per process.
+        let accesses: u64 = totals.iter().map(|t| t.queue_accesses).sum();
+        assert_eq!(accesses, tasks + r.nprocs as u64);
+    }
+
+    #[test]
     fn task_generator_covers_canonical_quartets() {
         let (prob, cost) = setup();
         let model = NwchemSimModel::new(&prob, &cost);
@@ -1027,7 +1278,11 @@ mod tests {
             assert_eq!(l_lo, l_hi);
             assert!(j <= i && k <= i);
             assert!(l_lo <= if k == i { j } else { k });
-            assert!(seen.insert((i, j, k, l_lo)), "duplicate {:?}", (i, j, k, l_lo));
+            assert!(
+                seen.insert((i, j, k, l_lo)),
+                "duplicate {:?}",
+                (i, j, k, l_lo)
+            );
         }
         assert!(!seen.is_empty());
     }

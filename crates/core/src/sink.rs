@@ -173,7 +173,10 @@ mod tests {
         for p in QUARTET_PERMS {
             for q in QUARTET_PERMS {
                 let c = compose(p, q);
-                assert!(QUARTET_PERMS.contains(&c), "{p:?} ∘ {q:?} = {c:?} not in group");
+                assert!(
+                    QUARTET_PERMS.contains(&c),
+                    "{p:?} ∘ {q:?} = {c:?} not in group"
+                );
             }
         }
     }

@@ -33,7 +33,11 @@ pub fn symmetry_check(m: usize, n: usize) -> bool {
 pub fn unique_quartet(m: usize, p: usize, n: usize, q: usize) -> bool {
     symmetry_check(m, p)
         && symmetry_check(n, q)
-        && if m != n { symmetry_check(m, n) } else { p == q || symmetry_check(p, q) }
+        && if m != n {
+            symmetry_check(m, n)
+        } else {
+            p == q || symmetry_check(p, q)
+        }
 }
 
 /// A Fock-construction problem: molecule + basis + screening data, with
@@ -58,7 +62,11 @@ impl FockProblem {
         let basis = BasisInstance::new(molecule, kind)?;
         let basis = reorder(&basis, ordering);
         let screening = Screening::compute(&basis, tau);
-        Ok(FockProblem { basis, screening, tau })
+        Ok(FockProblem {
+            basis,
+            screening,
+            tau,
+        })
     }
 
     #[inline]

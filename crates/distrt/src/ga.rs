@@ -13,6 +13,7 @@
 
 use crate::grid::{block_owner, ProcessGrid};
 use crate::stats::CommStats;
+use obs::{EventKind, Recorder};
 use parking_lot::{Mutex, RwLock};
 use std::ops::Range;
 
@@ -24,6 +25,9 @@ pub struct GlobalArray {
     /// One block per rank, row-major within the block.
     blocks: Vec<RwLock<Vec<f64>>>,
     stats: Vec<Mutex<CommStats>>,
+    /// Telemetry sink: every one-sided call is also emitted as a
+    /// per-caller comm event (disabled recorder = one branch per call).
+    rec: Recorder,
 }
 
 impl GlobalArray {
@@ -37,8 +41,25 @@ impl GlobalArray {
                 RwLock::new(vec![0.0; nr * nc])
             })
             .collect();
-        let stats = (0..grid.nprocs()).map(|_| Mutex::new(CommStats::default())).collect();
-        GlobalArray { grid, nrows, ncols, blocks, stats }
+        let stats = (0..grid.nprocs())
+            .map(|_| Mutex::new(CommStats::default()))
+            .collect();
+        GlobalArray {
+            grid,
+            nrows,
+            ncols,
+            blocks,
+            stats,
+            rec: Recorder::disabled(),
+        }
+    }
+
+    /// Attach a telemetry recorder: subsequent one-sided ops emit
+    /// `CommGet`/`CommPut`/`CommAcc` events attributed to the caller rank
+    /// (via the recorder's side streams — callers usually hold their
+    /// worker lane higher up the stack).
+    pub fn attach_recorder(&mut self, rec: &Recorder) {
+        self.rec = rec.clone();
     }
 
     /// Build from a dense row-major matrix (no communication recorded).
@@ -82,44 +103,69 @@ impl GlobalArray {
     pub fn get(&self, caller: usize, rows: Range<usize>, cols: Range<usize>, out: &mut [f64]) {
         let w = cols.len();
         assert!(out.len() >= rows.len() * w, "output buffer too small");
-        self.for_each_block(caller, rows.clone(), cols.clone(), OpKind::Get, |blk, ri, ci, bw, bro, bco| {
-            let b = blk.read();
-            for i in ri.clone() {
-                let src = (i - bro) * bw + (ci.start - bco);
-                let dst = (i - rows.start) * w + (ci.start - cols.start);
-                out[dst..dst + ci.len()].copy_from_slice(&b[src..src + ci.len()]);
-            }
-        });
+        self.for_each_block(
+            caller,
+            rows.clone(),
+            cols.clone(),
+            OpKind::Get,
+            |blk, ri, ci, bw, bro, bco| {
+                let b = blk.read();
+                for i in ri.clone() {
+                    let src = (i - bro) * bw + (ci.start - bco);
+                    let dst = (i - rows.start) * w + (ci.start - cols.start);
+                    out[dst..dst + ci.len()].copy_from_slice(&b[src..src + ci.len()]);
+                }
+            },
+        );
     }
 
     /// One-sided put of `data` (row-major rows.len() × cols.len()).
     pub fn put(&self, caller: usize, rows: Range<usize>, cols: Range<usize>, data: &[f64]) {
         let w = cols.len();
         assert!(data.len() >= rows.len() * w, "input buffer too small");
-        self.for_each_block(caller, rows.clone(), cols.clone(), OpKind::Put, |blk, ri, ci, bw, bro, bco| {
-            let mut b = blk.write();
-            for i in ri.clone() {
-                let dst = (i - bro) * bw + (ci.start - bco);
-                let src = (i - rows.start) * w + (ci.start - cols.start);
-                b[dst..dst + ci.len()].copy_from_slice(&data[src..src + ci.len()]);
-            }
-        });
+        self.for_each_block(
+            caller,
+            rows.clone(),
+            cols.clone(),
+            OpKind::Put,
+            |blk, ri, ci, bw, bro, bco| {
+                let mut b = blk.write();
+                for i in ri.clone() {
+                    let dst = (i - bro) * bw + (ci.start - bco);
+                    let src = (i - rows.start) * w + (ci.start - cols.start);
+                    b[dst..dst + ci.len()].copy_from_slice(&data[src..src + ci.len()]);
+                }
+            },
+        );
     }
 
     /// One-sided atomic accumulate: patch += scale * data.
-    pub fn acc(&self, caller: usize, rows: Range<usize>, cols: Range<usize>, data: &[f64], scale: f64) {
+    pub fn acc(
+        &self,
+        caller: usize,
+        rows: Range<usize>,
+        cols: Range<usize>,
+        data: &[f64],
+        scale: f64,
+    ) {
         let w = cols.len();
         assert!(data.len() >= rows.len() * w, "input buffer too small");
-        self.for_each_block(caller, rows.clone(), cols.clone(), OpKind::Acc, |blk, ri, ci, bw, bro, bco| {
-            let mut b = blk.write();
-            for i in ri.clone() {
-                let dst = (i - bro) * bw + (ci.start - bco);
-                let src = (i - rows.start) * w + (ci.start - cols.start);
-                for k in 0..ci.len() {
-                    b[dst + k] += scale * data[src + k];
+        self.for_each_block(
+            caller,
+            rows.clone(),
+            cols.clone(),
+            OpKind::Acc,
+            |blk, ri, ci, bw, bro, bco| {
+                let mut b = blk.write();
+                for i in ri.clone() {
+                    let dst = (i - bro) * bw + (ci.start - bco);
+                    let src = (i - rows.start) * w + (ci.start - cols.start);
+                    for k in 0..ci.len() {
+                        b[dst + k] += scale * data[src + k];
+                    }
                 }
-            }
-        });
+            },
+        );
     }
 
     /// Communication stats recorded for `rank` since the last reset.
@@ -161,7 +207,10 @@ impl GlobalArray {
     ) where
         F: FnMut(&RwLock<Vec<f64>>, &Range<usize>, &Range<usize>, usize, usize, usize),
     {
-        assert!(rows.end <= self.nrows && cols.end <= self.ncols, "patch out of bounds");
+        assert!(
+            rows.end <= self.nrows && cols.end <= self.ncols,
+            "patch out of bounds"
+        );
         if rows.is_empty() || cols.is_empty() {
             return;
         }
@@ -189,14 +238,17 @@ impl GlobalArray {
                     OpKind::Get => {
                         stats.get_calls += 1;
                         stats.get_bytes += bytes;
+                        self.rec.side_event(caller, EventKind::CommGet { bytes });
                     }
                     OpKind::Put => {
                         stats.put_calls += 1;
                         stats.put_bytes += bytes;
+                        self.rec.side_event(caller, EventKind::CommPut { bytes });
                     }
                     OpKind::Acc => {
                         stats.acc_calls += 1;
                         stats.acc_bytes += bytes;
+                        self.rec.side_event(caller, EventKind::CommAcc { bytes });
                     }
                 }
                 if rank == caller {
@@ -350,6 +402,24 @@ mod tests {
         // Accounting: each acc spanning 4 blocks → 4 calls each.
         let total = ga.stats_total();
         assert_eq!(total.acc_calls, (nthreads * reps * 4) as u64);
+    }
+
+    #[test]
+    fn recorder_sees_every_one_sided_call() {
+        let rec = Recorder::enabled();
+        let g = ProcessGrid::new(2, 2);
+        let mut ga = GlobalArray::zeros(g, 8, 8);
+        ga.attach_recorder(&rec);
+        let mut out = vec![0.0; 36];
+        ga.get(1, 2..8, 2..8, &mut out); // spans all 4 blocks
+        ga.acc(1, 0..2, 0..2, &vec![1.0; 4], 1.0); // 1 block
+        let s = ga.stats(1);
+        let r = rec.recording().expect("recording");
+        let totals = &r.worker_totals()[1];
+        assert_eq!(totals.get_calls, s.get_calls);
+        assert_eq!(totals.get_bytes, s.get_bytes);
+        assert_eq!(totals.acc_calls, s.acc_calls);
+        assert_eq!(totals.acc_bytes, s.acc_bytes);
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl ProcessGrid {
         while prow > 1 && !p.is_multiple_of(prow) {
             prow -= 1;
         }
-        ProcessGrid { prow, pcol: p / prow }
+        ProcessGrid {
+            prow,
+            pcol: p / prow,
+        }
     }
 
     #[inline]
@@ -127,7 +130,10 @@ mod tests {
         for &(n, parts) in &[(10usize, 3usize), (7, 7), (100, 12), (3, 8)] {
             for i in 0..n {
                 let o = block_owner(n, parts, i);
-                assert!(block_range(n, parts, o).contains(&i), "n={n} parts={parts} i={i} o={o}");
+                assert!(
+                    block_range(n, parts, o).contains(&i),
+                    "n={n} parts={parts} i={i} o={o}"
+                );
             }
         }
     }

@@ -47,7 +47,11 @@ pub struct Sim<E> {
 
 impl<E> Default for Sim<E> {
     fn default() -> Self {
-        Sim { now: 0.0, seq: 0, heap: BinaryHeap::new() }
+        Sim {
+            now: 0.0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+        }
     }
 }
 
@@ -66,8 +70,16 @@ impl<E> Sim<E> {
     /// (before the current clock) is a logic error.
     pub fn schedule(&mut self, at: f64, event: E) {
         debug_assert!(at.is_finite(), "event time must be finite");
-        debug_assert!(at >= self.now - 1e-12, "scheduling into the past: {at} < {}", self.now);
-        self.heap.push(Entry { time: at, seq: self.seq, event });
+        debug_assert!(
+            at >= self.now - 1e-12,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
+        self.heap.push(Entry {
+            time: at,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 

@@ -34,9 +34,21 @@ fn canonical(m: usize, n: usize, p: usize, q: usize) -> (u32, u32, u32, u32, [us
     let ket = if p >= q { (p, q) } else { (q, p) };
     let (b0, k0) = (bra, ket);
     if b0 >= k0 {
-        (b0.0 as u32, b0.1 as u32, k0.0 as u32, k0.1 as u32, [bra.0, bra.1, ket.0, ket.1])
+        (
+            b0.0 as u32,
+            b0.1 as u32,
+            k0.0 as u32,
+            k0.1 as u32,
+            [bra.0, bra.1, ket.0, ket.1],
+        )
     } else {
-        (k0.0 as u32, k0.1 as u32, b0.0 as u32, b0.1 as u32, [ket.0, ket.1, bra.0, bra.1])
+        (
+            k0.0 as u32,
+            k0.1 as u32,
+            b0.0 as u32,
+            b0.1 as u32,
+            [ket.0, ket.1, bra.0, bra.1],
+        )
     }
 }
 
@@ -77,7 +89,12 @@ impl EriCache {
             }
         }
         let nfuncs = basis.shells.iter().map(|s| s.nfuncs()).collect();
-        EriCache { quartets: blocks.len(), blocks, nfuncs, bytes }
+        EriCache {
+            quartets: blocks.len(),
+            blocks,
+            nfuncs,
+            bytes,
+        }
     }
 
     /// Fetch the quartet (mn|pq) in the caller's index order, writing the
@@ -88,7 +105,12 @@ impl EriCache {
         let Some(block) = self.blocks.get(&(a, b, c, d)) else {
             return false;
         };
-        let dims = [self.nfuncs[m], self.nfuncs[n], self.nfuncs[p], self.nfuncs[q]];
+        let dims = [
+            self.nfuncs[m],
+            self.nfuncs[n],
+            self.nfuncs[p],
+            self.nfuncs[q],
+        ];
         out.clear();
         out.resize(dims.iter().product(), 0.0);
         // Find a symmetry permutation carrying the requested tuple onto the
@@ -131,7 +153,7 @@ impl EriCache {
                 }
             }
         }
-                true
+        true
     }
 }
 
@@ -178,10 +200,7 @@ mod tests {
                             &mut direct,
                         );
                         for (x, y) in cached.iter().zip(&direct) {
-                            assert!(
-                                (x - y).abs() < 1e-12,
-                                "({m}{nn}|{p}{q}): {x} vs {y}"
-                            );
+                            assert!((x - y).abs() < 1e-12, "({m}{nn}|{p}{q}): {x} vs {y}");
                         }
                     }
                 }

@@ -51,7 +51,10 @@ impl CostModel {
         let mut rep_shell: Vec<Shell> = Vec::new();
         let mut type_of_shell = Vec::with_capacity(basis.nshells());
         for sh in &basis.shells {
-            let ty = ShellType { l: sh.l, nprim: sh.nprim() };
+            let ty = ShellType {
+                l: sh.l,
+                nprim: sh.nprim(),
+            };
             let idx = match types.iter().position(|&t| t == ty) {
                 Some(i) => i,
                 None => {
@@ -81,7 +84,13 @@ impl CostModel {
                         }
                         // Warm once, then take the minimum over repetitions — the
                         // estimator least sensitive to scheduler noise.
-                        eng.quartet(&rep_shell[a], &rep_shell[b], &rep_shell[c], &rep_shell[d], &mut out);
+                        eng.quartet(
+                            &rep_shell[a],
+                            &rep_shell[b],
+                            &rep_shell[c],
+                            &rep_shell[d],
+                            &mut out,
+                        );
                         let mut secs = f64::INFINITY;
                         for _ in 0..reps {
                             let start = Instant::now();
@@ -117,7 +126,14 @@ impl CostModel {
             }
         }
         let t_int = weighted_tint(&cost, &nints);
-        CostModel { types, type_of_shell, ntypes: nt, cost, nints, t_int }
+        CostModel {
+            types,
+            type_of_shell,
+            ntypes: nt,
+            cost,
+            nints,
+            t_int,
+        }
     }
 
     /// Seconds to compute the quartet of the four given shells (by index).
@@ -209,10 +225,19 @@ mod tests {
         let b = BasisInstance::new(generators::methane(), BasisSetKind::CcPvdz).unwrap();
         let m = CostModel::calibrate(&b, 3);
         // Find a (s,9) shell (carbon core) and an (s,1) shell.
-        let deep = b.shells.iter().position(|s| s.l == 0 && s.nprim() == 9).unwrap();
-        let shallow = b.shells.iter().position(|s| s.l == 0 && s.nprim() == 1).unwrap();
+        let deep = b
+            .shells
+            .iter()
+            .position(|s| s.l == 0 && s.nprim() == 9)
+            .unwrap();
+        let shallow = b
+            .shells
+            .iter()
+            .position(|s| s.l == 0 && s.nprim() == 1)
+            .unwrap();
         assert!(
-            m.quartet_cost(deep, deep, deep, deep) > m.quartet_cost(shallow, shallow, shallow, shallow),
+            m.quartet_cost(deep, deep, deep, deep)
+                > m.quartet_cost(shallow, shallow, shallow, shallow),
             "9-primitive quartets should dominate single-primitive ones"
         );
     }

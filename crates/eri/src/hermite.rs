@@ -29,12 +29,19 @@ impl E1d {
     /// separation `xab = A − B` along this axis, where `xpa = P − A`,
     /// `xpb = P − B` and P is the Gaussian product centre.
     pub fn new(la: usize, lb: usize, a: f64, b: f64, xab: f64) -> E1d {
-        debug_assert!(la <= E1D_MAX_I && lb <= E1D_MAX_J, "angular momentum beyond s/p/d");
+        debug_assert!(
+            la <= E1D_MAX_I && lb <= E1D_MAX_J,
+            "angular momentum beyond s/p/d"
+        );
         let p = a + b;
         let mu = a * b / p;
         let xpa = -b * xab / p; // P - A = -(b/p)(A-B)
         let xpb = a * xab / p; // P - B =  (a/p)(A-B)
-        let mut e = E1d { la, lb, data: [0.0; E1D_CAP] };
+        let mut e = E1d {
+            la,
+            lb,
+            data: [0.0; E1D_CAP],
+        };
         e.set(0, 0, 0, (-mu * xab * xab).exp());
         let inv2p = 0.5 / p;
         // Raise i first (j = 0), then raise j for every i.
@@ -174,7 +181,10 @@ pub fn hermite_r<'a>(
             }
         }
     }
-    RTable { dim, data: &scratch.work[..size] }
+    RTable {
+        dim,
+        data: &scratch.work[..size],
+    }
 }
 
 /// Cartesian component exponents (lx, ly, lz) of a shell with angular
@@ -256,7 +266,11 @@ mod tests {
             crate::boys::boys_single(0, t)
         };
         let want = (f0(pq.x + h) - f0(pq.x - h)) / (2.0 * h);
-        assert!((r.get(1, 0, 0) - want).abs() < 1e-8, "{} vs {want}", r.get(1, 0, 0));
+        assert!(
+            (r.get(1, 0, 0) - want).abs() < 1e-8,
+            "{} vs {want}",
+            r.get(1, 0, 0)
+        );
     }
 
     #[test]
@@ -265,7 +279,14 @@ mod tests {
         assert_eq!(cart_components(1), vec![(1, 0, 0), (0, 1, 0), (0, 0, 1)]);
         assert_eq!(
             cart_components(2),
-            vec![(2, 0, 0), (1, 1, 0), (1, 0, 1), (0, 2, 0), (0, 1, 1), (0, 0, 2)]
+            vec![
+                (2, 0, 0),
+                (1, 1, 0),
+                (1, 0, 1),
+                (0, 2, 0),
+                (0, 1, 1),
+                (0, 0, 2)
+            ]
         );
     }
 }

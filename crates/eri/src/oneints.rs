@@ -59,8 +59,8 @@ pub fn kinetic_pair(a: &Shell, b: &Shell) -> Vec<f64> {
             ];
             let s1 = |axis: usize, i: usize, j: usize| sq * e[axis].get(i, j, 0);
             let t1 = |axis: usize, i: usize, j: usize| {
-                let mut t = -2.0 * eb * eb * s1(axis, i, j + 2)
-                    + eb * (2 * j + 1) as f64 * s1(axis, i, j);
+                let mut t =
+                    -2.0 * eb * eb * s1(axis, i, j + 2) + eb * (2 * j + 1) as f64 * s1(axis, i, j);
                 if j >= 2 {
                     t -= 0.5 * (j * (j - 1)) as f64 * s1(axis, i, j - 2);
                 }
@@ -270,7 +270,11 @@ mod tests {
         let s = overlap_matrix(&basis);
         let n = basis.nbf;
         for i in 0..n {
-            assert!((s[i * n + i] - 1.0).abs() < 1e-10, "S[{i}][{i}] = {}", s[i * n + i]);
+            assert!(
+                (s[i * n + i] - 1.0).abs() < 1e-10,
+                "S[{i}][{i}] = {}",
+                s[i * n + i]
+            );
         }
     }
 

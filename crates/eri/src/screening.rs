@@ -76,7 +76,13 @@ impl Screening {
                     .collect()
             })
             .collect();
-        Screening { tau, n, q, max_q, sig }
+        Screening {
+            tau,
+            n,
+            q,
+            max_q,
+            sig,
+        }
     }
 
     /// Pair value (MN).
@@ -223,7 +229,13 @@ mod tests {
                 for p in 0..n {
                     for q in 0..n {
                         if !s.quartet_allowed(m, nn, p, q) {
-                            eng.quartet(&b.shells[m], &b.shells[nn], &b.shells[p], &b.shells[q], &mut out);
+                            eng.quartet(
+                                &b.shells[m],
+                                &b.shells[nn],
+                                &b.shells[p],
+                                &b.shells[q],
+                                &mut out,
+                            );
                             let mx = out.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
                             assert!(mx <= tau * (1.0 + 1e-9), "dropped quartet above tau: {mx}");
                         }
@@ -243,7 +255,12 @@ mod tests {
         let salk = Screening::compute(&balk, tau);
         let sflk = Screening::compute(&bflk, tau);
         let frac = |s: &Screening| s.avg_phi() / s.n as f64;
-        assert!(frac(&salk) < frac(&sflk), "alkane Φ fraction {} vs flake {}", frac(&salk), frac(&sflk));
+        assert!(
+            frac(&salk) < frac(&sflk),
+            "alkane Φ fraction {} vs flake {}",
+            frac(&salk),
+            frac(&sflk)
+        );
     }
 
     #[test]

@@ -29,11 +29,17 @@ impl EriEngine {
     ///
     /// Returns the number of integrals written.
     #[allow(clippy::needless_range_loop)] // index used across two buffers
-    pub fn quartet(&mut self, a: &Shell, b: &Shell, c: &Shell, d: &Shell, out: &mut Vec<f64>) -> usize {
+    pub fn quartet(
+        &mut self,
+        a: &Shell,
+        b: &Shell,
+        c: &Shell,
+        d: &Shell,
+        out: &mut Vec<f64>,
+    ) -> usize {
         let (la, lb, lc, ld) = (a.l as usize, b.l as usize, c.l as usize, d.l as usize);
         let l_total = la + lb + lc + ld;
-        let (nca, ncb, ncc, ncd) =
-            (ncart(a.l), ncart(b.l), ncart(c.l), ncart(d.l));
+        let (nca, ncb, ncc, ncd) = (ncart(a.l), ncart(b.l), ncart(c.l), ncart(d.l));
         let ncart_total = nca * ncb * ncc * ncd;
 
         self.cart_buf.clear();
@@ -48,7 +54,7 @@ impl EriEngine {
 
         // Dimensions of the Hermite index space of the bra and ket.
         let tb = la + lb + 1; // bra t,u,v each < tb
-        // g[cd_comp][t][u][v]: ket side contracted with R.
+                              // g[cd_comp][t][u][v]: ket side contracted with R.
         self.half_buf.clear();
         self.half_buf.resize(ncc * ncd * tb * tb * tb, 0.0);
 
@@ -69,9 +75,14 @@ impl EriEngine {
                         let ecd_y = E1d::new(lc, ld, ec, ed, cd.y);
                         let ecd_z = E1d::new(lc, ld, ec, ed, cd.z);
                         let alpha = p * q / (p + q);
-                        let r = hermite_r(l_total, alpha, pc - qc, &mut self.boys_buf, &mut self.r_scratch);
-                        let pref = TWO_PI_POW_2_5 / (p * q * (p + q).sqrt())
-                            * ca * cb * cc * cdc;
+                        let r = hermite_r(
+                            l_total,
+                            alpha,
+                            pc - qc,
+                            &mut self.boys_buf,
+                            &mut self.r_scratch,
+                        );
+                        let pref = TWO_PI_POW_2_5 / (p * q * (p + q).sqrt()) * ca * cb * cc * cdc;
 
                         // Ket half-contraction: for each (c,d) cartesian
                         // component, fold E^{cd} and the (-1)^{τ+ν+φ} sign
@@ -96,7 +107,8 @@ impl EriEngine {
                                             if e3 == 0.0 {
                                                 continue;
                                             }
-                                            let sign = if (tau + nu + phi) % 2 == 1 { -1.0 } else { 1.0 };
+                                            let sign =
+                                                if (tau + nu + phi) % 2 == 1 { -1.0 } else { 1.0 };
                                             let w = sign * e3;
                                             for t in 0..tb {
                                                 for u in 0..tb {
@@ -194,10 +206,10 @@ pub fn component_norm(l: u8, lx: u8, ly: u8, lz: u8) -> f64 {
 mod tests {
     use super::*;
     use crate::boys::boys_single;
-    use chem::Vec3;
     use chem::basis::BasisSetKind;
     use chem::generators;
     use chem::shells::BasisInstance;
+    use chem::Vec3;
 
     fn s_shell(center: Vec3, exp: f64) -> Shell {
         // Single normalized s primitive.
@@ -241,7 +253,11 @@ mod tests {
             * (-(ec * ed / q) * c.center.dist2(d.center)).exp()
             * boys_single(0, alpha * pc.dist2(qc))
             * norm;
-        assert!((out[0] - want).abs() < 1e-12 * want.abs().max(1.0), "{} vs {want}", out[0]);
+        assert!(
+            (out[0] - want).abs() < 1e-12 * want.abs().max(1.0),
+            "{} vs {want}",
+            out[0]
+        );
     }
 
     #[test]

@@ -128,7 +128,9 @@ mod tests {
     fn random_sym(n: usize, seed: u64) -> Mat {
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut m = Mat::zeros(n, n);
@@ -164,7 +166,11 @@ mod tests {
                     vd[(i, j)] *= e.values[j];
                 }
             }
-            assert!(av.max_abs_diff(&vd) < 1e-10, "n={n}: residual {}", av.max_abs_diff(&vd));
+            assert!(
+                av.max_abs_diff(&vd) < 1e-10,
+                "n={n}: residual {}",
+                av.max_abs_diff(&vd)
+            );
         }
     }
 

@@ -74,7 +74,9 @@ mod tests {
         // Tiny deterministic LCG; no rand dependency needed here.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         Mat::from_vec(m, n, (0..m * n).map(|_| next()).collect())

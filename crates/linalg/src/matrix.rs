@@ -13,7 +13,11 @@ pub struct Mat {
 
 impl Mat {
     pub fn zeros(nrows: usize, ncols: usize) -> Mat {
-        Mat { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        Mat {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     pub fn identity(n: usize) -> Mat {

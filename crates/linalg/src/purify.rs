@@ -93,7 +93,11 @@ pub fn purify_canonical(f_ortho: &Mat, nocc: usize, tol: f64, max_iter: usize) -
     }
     let d2 = gemm(1.0, &d, &d, 0.0, None);
     let idem = d2.max_abs_diff(&d);
-    Purification { density: d, iterations, idempotency_error: idem }
+    Purification {
+        density: d,
+        iterations,
+        idempotency_error: idem,
+    }
 }
 
 /// SP2 purification [Niklasson 2002]: trace-correcting second-order
@@ -146,7 +150,11 @@ pub fn purify_sp2(f_ortho: &Mat, nocc: usize, tol: f64, max_iter: usize) -> Puri
     }
     let d2 = gemm(1.0, &d, &d, 0.0, None);
     let idem = d2.max_abs_diff(&d);
-    Purification { density: d, iterations, idempotency_error: idem }
+    Purification {
+        density: d,
+        iterations,
+        idempotency_error: idem,
+    }
 }
 
 /// One McWeeny refinement step: D ← 3D² − 2D³. Contracts idempotency error
@@ -169,7 +177,9 @@ mod tests {
     fn random_sym(n: usize, seed: u64) -> Mat {
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut m = Mat::zeros(n, n);
@@ -214,14 +224,22 @@ mod tests {
     fn trace_equals_nocc() {
         let f = random_sym(12, 5);
         let p = purify_canonical(&f, 4, 1e-12, 200);
-        assert!((p.density.trace() - 4.0).abs() < 1e-8, "trace {}", p.density.trace());
+        assert!(
+            (p.density.trace() - 4.0).abs() < 1e-8,
+            "trace {}",
+            p.density.trace()
+        );
     }
 
     #[test]
     fn idempotent_at_convergence() {
         let f = random_sym(10, 6);
         let p = purify_canonical(&f, 3, 1e-13, 300);
-        assert!(p.idempotency_error < 1e-6, "idempotency {}", p.idempotency_error);
+        assert!(
+            p.idempotency_error < 1e-6,
+            "idempotency {}",
+            p.idempotency_error
+        );
     }
 
     #[test]

@@ -59,7 +59,9 @@ mod tests {
     fn random(n: usize, seed: u64) -> Mat {
         let mut s = seed.wrapping_add(3);
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         Mat::from_vec(n, n, (0..n * n).map(|_| next()).collect())

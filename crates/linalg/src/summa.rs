@@ -77,7 +77,9 @@ mod tests {
         let mut state = seed;
         (0..n * m)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
             })
             .collect()

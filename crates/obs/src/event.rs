@@ -1,0 +1,151 @@
+//! The event vocabulary of a parallel Fock build.
+//!
+//! Every event carries a monotonic timestamp `t` in seconds. For real
+//! (threaded) builds `t` is measured from the recorder's epoch; for
+//! discrete-event simulated builds `t` is simulated time — the schema is
+//! identical, which is what lets one exporter and one set of derived
+//! views serve both.
+
+/// What happened. Ranks, shell indices and victim ranks are `u32` to keep
+/// the event payload at 16 bytes next to the timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A worker began executing task (M, N) of the task matrix.
+    TaskStart { m: u32, n: u32 },
+    /// …and finished it, having computed `quartets` shell quartets.
+    TaskEnd { m: u32, n: u32, quartets: u32 },
+    /// The worker probed `victim`'s queue (successful or not).
+    StealAttempt { victim: u32 },
+    /// The worker stole `tasks` tasks from `victim`'s queue.
+    StealSuccess { victim: u32, tasks: u32 },
+    /// Bulk D-region prefetch (GTFock step 2 / a thief's victim-region copy).
+    DPrefetch { bytes: u64, calls: u64 },
+    /// Bulk F-region flush (GTFock step 5).
+    FFlush { bytes: u64, calls: u64 },
+    /// Time spent blocked at a barrier / join point.
+    BarrierWait { seconds: f64 },
+    /// One access to a centralized task queue (the NWChem `nxtval`).
+    QueueAccess,
+    /// One-sided GA get issued by this worker.
+    CommGet { bytes: u64 },
+    /// One-sided GA put issued by this worker.
+    CommPut { bytes: u64 },
+    /// One-sided GA accumulate issued by this worker.
+    CommAcc { bytes: u64 },
+    /// An SCF iteration began (recorded by the driver, rank 0 lane).
+    IterStart { iter: u32 },
+    /// …and ended.
+    IterEnd { iter: u32 },
+    /// The worker's build loop started (first event of a build).
+    WorkerStart,
+    /// The worker's build loop finished (after its final flush).
+    WorkerEnd,
+}
+
+impl EventKind {
+    /// Stable machine-readable name (JSON/CSV `kind` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::TaskStart { .. } => "task_start",
+            EventKind::TaskEnd { .. } => "task_end",
+            EventKind::StealAttempt { .. } => "steal_attempt",
+            EventKind::StealSuccess { .. } => "steal_success",
+            EventKind::DPrefetch { .. } => "d_prefetch",
+            EventKind::FFlush { .. } => "f_flush",
+            EventKind::BarrierWait { .. } => "barrier_wait",
+            EventKind::QueueAccess => "queue_access",
+            EventKind::CommGet { .. } => "comm_get",
+            EventKind::CommPut { .. } => "comm_put",
+            EventKind::CommAcc { .. } => "comm_acc",
+            EventKind::IterStart { .. } => "iter_start",
+            EventKind::IterEnd { .. } => "iter_end",
+            EventKind::WorkerStart => "worker_start",
+            EventKind::WorkerEnd => "worker_end",
+        }
+    }
+
+    /// Payload fields as (name, value) pairs, for the generic exporters.
+    pub fn fields(&self) -> Vec<(&'static str, f64)> {
+        match *self {
+            EventKind::TaskStart { m, n } => vec![("m", m as f64), ("n", n as f64)],
+            EventKind::TaskEnd { m, n, quartets } => {
+                vec![
+                    ("m", m as f64),
+                    ("n", n as f64),
+                    ("quartets", quartets as f64),
+                ]
+            }
+            EventKind::StealAttempt { victim } => vec![("victim", victim as f64)],
+            EventKind::StealSuccess { victim, tasks } => {
+                vec![("victim", victim as f64), ("tasks", tasks as f64)]
+            }
+            EventKind::DPrefetch { bytes, calls } | EventKind::FFlush { bytes, calls } => {
+                vec![("bytes", bytes as f64), ("calls", calls as f64)]
+            }
+            EventKind::BarrierWait { seconds } => vec![("seconds", seconds)],
+            EventKind::QueueAccess | EventKind::WorkerStart | EventKind::WorkerEnd => vec![],
+            EventKind::CommGet { bytes }
+            | EventKind::CommPut { bytes }
+            | EventKind::CommAcc { bytes } => vec![("bytes", bytes as f64)],
+            EventKind::IterStart { iter } | EventKind::IterEnd { iter } => {
+                vec![("iter", iter as f64)]
+            }
+        }
+    }
+}
+
+/// One timestamped event in a worker's stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Seconds since the recorder epoch (or simulated seconds).
+    pub t: f64,
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let kinds = [
+            EventKind::TaskStart { m: 0, n: 0 },
+            EventKind::TaskEnd {
+                m: 0,
+                n: 0,
+                quartets: 0,
+            },
+            EventKind::StealAttempt { victim: 0 },
+            EventKind::StealSuccess {
+                victim: 0,
+                tasks: 0,
+            },
+            EventKind::DPrefetch { bytes: 0, calls: 0 },
+            EventKind::FFlush { bytes: 0, calls: 0 },
+            EventKind::BarrierWait { seconds: 0.0 },
+            EventKind::QueueAccess,
+            EventKind::CommGet { bytes: 0 },
+            EventKind::CommPut { bytes: 0 },
+            EventKind::CommAcc { bytes: 0 },
+            EventKind::IterStart { iter: 0 },
+            EventKind::IterEnd { iter: 0 },
+            EventKind::WorkerStart,
+            EventKind::WorkerEnd,
+        ];
+        let names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate event names");
+    }
+
+    #[test]
+    fn fields_roundtrip_payload() {
+        let k = EventKind::StealSuccess {
+            victim: 3,
+            tasks: 17,
+        };
+        let f = k.fields();
+        assert_eq!(f, vec![("victim", 3.0), ("tasks", 17.0)]);
+    }
+}

@@ -1,0 +1,253 @@
+//! Dependency-free JSON and CSV serialization of recordings.
+//!
+//! The JSON trace is the machine-readable format the bench binaries emit
+//! (`table8 --trace trace.json`):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "nworkers": 2,
+//!   "workers": [
+//!     {"rank": 0, "events": [
+//!       {"t": 0.000012, "kind": "task_start", "m": 3, "n": 7},
+//!       {"t": 0.000391, "kind": "task_end", "m": 3, "n": 7, "quartets": 120}
+//!     ]}
+//!   ],
+//!   "metrics": {"counters": {"quartets": 240}, "histograms": {...}}
+//! }
+//! ```
+//!
+//! The CSV stream is one event per row (`rank,t,kind,k1=v1;k2=v2`), easy
+//! to load into a dataframe for timeline plots.
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+use crate::timeline::Recording;
+
+/// Serialize an f64 as JSON: finite shortest-ish form, no NaN/Inf output.
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escape a string for a JSON string literal (no surrounding quotes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn metrics_json(m: &MetricsSnapshot) -> String {
+    let mut s = String::from("{\"counters\":{");
+    for (i, (name, v)) in m.counters.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\":{}", json_escape(name), v);
+    }
+    s.push_str("},\"histograms\":{");
+    for (i, (name, h)) in m.histograms.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        // Trim trailing empty buckets so traces stay small.
+        let last = h.buckets.iter().rposition(|&b| b != 0).map_or(0, |p| p + 1);
+        let buckets: Vec<String> = h.buckets[..last].iter().map(|b| b.to_string()).collect();
+        let _ = write!(
+            s,
+            "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+            json_escape(name),
+            h.count,
+            h.sum,
+            buckets.join(",")
+        );
+    }
+    s.push_str("}}");
+    s
+}
+
+impl Recording {
+    /// Full trace as a JSON document (version 1 schema above).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"version\":1,\"nworkers\":{},\"workers\":[",
+            self.nworkers()
+        );
+        for rank in 0..self.nworkers() {
+            if rank > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"rank\":{rank},\"events\":[");
+            for (i, e) in self.events(rank).iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"t\":{},\"kind\":\"{}\"",
+                    json_f64(e.t),
+                    e.kind.name()
+                );
+                for (k, v) in e.kind.fields() {
+                    let _ = write!(s, ",\"{}\":{}", k, json_f64(v));
+                }
+                s.push('}');
+            }
+            s.push_str("]}");
+        }
+        s.push_str("],\"metrics\":");
+        s.push_str(&metrics_json(self.metrics()));
+        s.push('}');
+        s
+    }
+
+    /// One event per row: `rank,t,kind,payload` where payload is
+    /// `;`-separated `key=value` pairs.
+    pub fn events_csv(&self) -> String {
+        let mut s = String::from("rank,t,kind,payload\n");
+        for rank in 0..self.nworkers() {
+            for e in self.events(rank) {
+                let payload: Vec<String> = e
+                    .kind
+                    .fields()
+                    .iter()
+                    .map(|(k, v)| format!("{}={}", k, json_f64(*v)))
+                    .collect();
+                let _ = writeln!(
+                    s,
+                    "{},{},{},{}",
+                    rank,
+                    json_f64(e.t),
+                    e.kind.name(),
+                    payload.join(";")
+                );
+            }
+        }
+        s
+    }
+
+    /// Derived per-worker totals as a CSV table (one worker per row) —
+    /// the shape the paper's per-process tables use.
+    pub fn totals_csv(&self) -> String {
+        let mut s = String::from(
+            "rank,tasks,quartets,steal_attempts,steals,stolen_tasks,queue_accesses,\
+             get_bytes,get_calls,put_bytes,put_calls,acc_bytes,acc_calls,\
+             prefetch_bytes,flush_bytes,busy_secs,barrier_secs,span_secs\n",
+        );
+        for t in self.worker_totals() {
+            let _ = writeln!(
+                s,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                t.rank,
+                t.tasks,
+                t.quartets,
+                t.steal_attempts,
+                t.steals,
+                t.stolen_tasks,
+                t.queue_accesses,
+                t.get_bytes,
+                t.get_calls,
+                t.put_bytes,
+                t.put_calls,
+                t.acc_bytes,
+                t.acc_calls,
+                t.prefetch_bytes,
+                t.flush_bytes,
+                json_f64(t.busy_secs),
+                json_f64(t.barrier_secs),
+                json_f64(t.span_secs),
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+
+    fn sample() -> Recording {
+        Recording::new(
+            vec![vec![
+                Event {
+                    t: 0.25,
+                    kind: EventKind::TaskStart { m: 3, n: 7 },
+                },
+                Event {
+                    t: 0.5,
+                    kind: EventKind::TaskEnd {
+                        m: 3,
+                        n: 7,
+                        quartets: 120,
+                    },
+                },
+            ]],
+            MetricsSnapshot::default(),
+        )
+    }
+
+    #[test]
+    fn json_has_schema_fields() {
+        let j = sample().to_json();
+        assert!(j.starts_with("{\"version\":1,\"nworkers\":1,"));
+        assert!(j.contains("\"kind\":\"task_start\""));
+        assert!(j.contains("\"quartets\":120"));
+        assert!(j.contains("\"metrics\":{\"counters\":{"));
+        // Balanced braces / brackets — cheap well-formedness check.
+        let opens = j.matches('{').count();
+        let closes = j.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn csv_one_row_per_event() {
+        let c = sample().events_csv();
+        let lines: Vec<_> = c.trim_end().lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 events
+        assert_eq!(lines[0], "rank,t,kind,payload");
+        assert!(lines[1].starts_with("0,0.25,task_start,m=3;n=7"));
+    }
+
+    #[test]
+    fn totals_csv_has_header_and_rows() {
+        let c = sample().totals_csv();
+        let lines: Vec<_> = c.trim_end().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].starts_with("0,1,120,"));
+    }
+
+    #[test]
+    fn json_f64_formats() {
+        assert_eq!(json_f64(3.0), "3");
+        assert_eq!(json_f64(0.25), "0.25");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn json_escape_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

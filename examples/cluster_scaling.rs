@@ -17,19 +17,32 @@ use fock_repro::distrt::MachineParams;
 use fock_repro::eri::CostModel;
 
 fn main() {
-    let flake_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
-    let alkane_k: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let flake_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let alkane_k: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     let cores = [12usize, 48, 192, 768, 1728, 3888];
     let machine = MachineParams::lonestar();
 
-    for molecule in [generators::graphene_flake(flake_n), generators::linear_alkane(alkane_k)] {
+    for molecule in [
+        generators::graphene_flake(flake_n),
+        generators::linear_alkane(alkane_k),
+    ] {
         let name = molecule.formula();
         println!("=== {name} / cc-pVDZ, τ = 1e-10 ===");
         let basis = BasisInstance::new(molecule.clone(), BasisSetKind::CcPvdz).unwrap();
         let cost = CostModel::calibrate(&basis, 3);
-        let prob =
-            FockProblem::new(molecule, BasisSetKind::CcPvdz, 1e-10, ShellOrdering::cells_default())
-                .unwrap();
+        let prob = FockProblem::new(
+            molecule,
+            BasisSetKind::CcPvdz,
+            1e-10,
+            ShellOrdering::cells_default(),
+        )
+        .unwrap();
         println!(
             "shells {}  functions {}  unique quartets {}",
             prob.nshells(),

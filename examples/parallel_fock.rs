@@ -16,11 +16,19 @@ use fock_repro::core::tasks::FockProblem;
 use fock_repro::distrt::ProcessGrid;
 
 fn main() {
-    let size: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let size: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let molecule = generators::graphene_flake(size);
     println!("molecule: {molecule} (hexagonal graphene flake, n={size})");
-    let prob = FockProblem::new(molecule, BasisSetKind::Sto3g, 1e-10, ShellOrdering::cells_default())
-        .expect("problem setup");
+    let prob = FockProblem::new(
+        molecule,
+        BasisSetKind::Sto3g,
+        1e-10,
+        ShellOrdering::cells_default(),
+    )
+    .expect("problem setup");
     println!(
         "shells: {}   functions: {}   unique significant quartets: {}\n",
         prob.nshells(),
@@ -38,7 +46,10 @@ fn main() {
     }
 
     let grid = ProcessGrid::new(2, 2);
-    println!("== GTFock (grid {}x{}, work stealing on) ==", grid.prow, grid.pcol);
+    println!(
+        "== GTFock (grid {}x{}, work stealing on) ==",
+        grid.prow, grid.pcol
+    );
     let t0 = std::time::Instant::now();
     let (g1, rep) = build_fock_gtfock(&prob, &d, GtfockConfig { grid, steal: true });
     println!("wall time: {:.3} s", t0.elapsed().as_secs_f64());
@@ -58,7 +69,14 @@ fn main() {
 
     println!("\n== NWChem-style baseline (4 processes, centralized queue) ==");
     let t0 = std::time::Instant::now();
-    let (g2, rep2) = build_fock_nwchem(&prob, &d, NwchemConfig { nprocs: 4, chunk: 5 });
+    let (g2, rep2) = build_fock_nwchem(
+        &prob,
+        &d,
+        NwchemConfig {
+            nprocs: 4,
+            chunk: 5,
+        },
+    );
     println!("wall time: {:.3} s", t0.elapsed().as_secs_f64());
     println!("quartets computed: {}", rep2.total_quartets());
     println!("queue accesses: {}", rep2.queue_accesses);

@@ -13,7 +13,10 @@ use fock_repro::linalg::summa::summa;
 use fock_repro::linalg::Mat;
 
 fn main() {
-    let k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
     let molecule = generators::linear_alkane(k);
     println!("molecule: {molecule}\n");
 
@@ -25,13 +28,19 @@ fn main() {
     );
 
     println!("\n== SCF with canonical purification ==");
-    let cfg = ScfConfig { density: DensityMethod::Purification, ..ScfConfig::default() };
+    let cfg = ScfConfig {
+        density: DensityMethod::Purification,
+        ..ScfConfig::default()
+    };
     let pur = run_scf(molecule.clone(), BasisSetKind::Sto3g, cfg).unwrap();
     println!(
         "E = {:.8} Ha in {} iterations (converged: {})",
         pur.energy, pur.iterations, pur.converged
     );
-    println!("ΔE(diag vs purification) = {:.2e} Ha", (diag.energy - pur.energy).abs());
+    println!(
+        "ΔE(diag vs purification) = {:.2e} Ha",
+        (diag.energy - pur.energy).abs()
+    );
 
     // Purification of the final Fock matrix, instrumented.
     let nocc = molecule.nocc();
@@ -58,7 +67,10 @@ fn main() {
         total.total_calls() / 4
     );
     let dd = Mat::from_vec(n, n, d2.to_dense());
-    println!("  ‖D² − D‖_max = {:.2e} (idempotent at convergence)", dd.max_abs_diff(&p.density));
+    println!(
+        "  ‖D² − D‖_max = {:.2e} (idempotent at convergence)",
+        dd.max_abs_diff(&p.density)
+    );
 }
 
 /// F' = Xᵀ F X for the run's final Fock matrix.

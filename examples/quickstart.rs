@@ -14,8 +14,8 @@ fn main() {
     println!("molecule: {molecule}");
     println!("basis:    STO-3G\n");
 
-    let result = run_scf(molecule, BasisSetKind::Sto3g, ScfConfig::default())
-        .expect("SCF setup failed");
+    let result =
+        run_scf(molecule, BasisSetKind::Sto3g, ScfConfig::default()).expect("SCF setup failed");
 
     println!("iter    total energy (Ha)      ΔE");
     let mut prev = f64::NAN;

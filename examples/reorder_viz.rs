@@ -14,7 +14,7 @@ use fock_repro::core::tasks::FockProblem;
 
 fn render(prob: &FockProblem, m: usize, n: usize, label: &str) {
     let ns = prob.nshells();
-    let cell = (ns + 59) / 60; // downsample to ≤60x60 characters
+    let cell = ns.div_ceil(60); // downsample to ≤60x60 characters
     let grid_dim = ns.div_ceil(cell);
     let mut marks = vec![false; grid_dim * grid_dim];
     let mut count = 0usize;
@@ -49,7 +49,10 @@ fn render(prob: &FockProblem, m: usize, n: usize, label: &str) {
 }
 
 fn main() {
-    let k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
     let molecule = generators::linear_alkane(k);
     println!("molecule: {}\n", molecule.formula());
 
@@ -60,8 +63,8 @@ fn main() {
         ShellOrdering::Cells { cell: 8.0 },
     )
     .unwrap();
-    let natural = FockProblem::new(molecule, BasisSetKind::Sto3g, 1e-10, ShellOrdering::Natural)
-        .unwrap();
+    let natural =
+        FockProblem::new(molecule, BasisSetKind::Sto3g, 1e-10, ShellOrdering::Natural).unwrap();
 
     let ns = ordered.nshells();
     let (m, n) = (ns / 4, ns / 2);

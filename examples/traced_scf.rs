@@ -1,0 +1,51 @@
+//! The unified [`FockBuild`] API with telemetry: run a full SCF through
+//! the GTFock builder with an enabled [`Recorder`], then read the
+//! iteration / task / steal event streams and the metrics registry back
+//! out of the recording.
+//!
+//! Run with: `cargo run --release --example traced_scf`
+
+use fock_repro::chem::{generators, BasisSetKind};
+use fock_repro::core::build::{gtfock_builder, SchedulerOpts, QUARTETS_COUNTER};
+use fock_repro::core::scf::{run_scf, ScfConfig};
+use fock_repro::obs::{EventKind, Recorder};
+
+fn main() {
+    let rec = Recorder::enabled();
+    let cfg = ScfConfig::builder()
+        .fock_builder(gtfock_builder(SchedulerOpts::with_nprocs(4).gtfock()))
+        .recorder(rec.clone())
+        .build();
+    let r = run_scf(generators::water(), BasisSetKind::Sto3g, cfg).expect("scf");
+    println!(
+        "water/STO-3G via FockBuild(gtfock, 4 procs): E = {:.6} Ha in {} iterations (converged: {})",
+        r.energy, r.iterations, r.converged
+    );
+
+    let recording = rec.recording().expect("recorder was enabled");
+    let all = recording.all_events();
+    let count =
+        |f: &dyn Fn(&EventKind) -> bool| all.iter().flatten().filter(|e| f(&e.kind)).count();
+    println!(
+        "recorded {} events across {} worker lanes:",
+        recording.total_events(),
+        recording.nworkers()
+    );
+    println!(
+        "  scf iterations : {}",
+        count(&|k| matches!(k, EventKind::IterStart { .. }))
+    );
+    println!(
+        "  tasks executed : {}",
+        count(&|k| matches!(k, EventKind::TaskEnd { .. }))
+    );
+    println!(
+        "  steal attempts : {} ({} successful)",
+        count(&|k| matches!(k, EventKind::StealAttempt { .. })),
+        count(&|k| matches!(k, EventKind::StealSuccess { .. }))
+    );
+    println!(
+        "  quartet counter: {}",
+        recording.metrics().counter(QUARTETS_COUNTER)
+    );
+}

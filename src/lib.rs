@@ -12,6 +12,10 @@
 //! * [`distrt`] — the simulated distributed runtime: process grids, a
 //!   Global-Arrays-like one-sided layer with communication accounting, and
 //!   a discrete-event cluster simulator;
+//! * [`obs`] — the structured telemetry subsystem: lock-free per-worker
+//!   event recording, a metrics registry, timeline assembly, and JSON/CSV
+//!   export, threaded through every builder behind a zero-cost-when-
+//!   disabled [`obs::Recorder`];
 //! * [`core`] (crate `fock-core`) — the paper's algorithm (static
 //!   partitioning + prefetch + work stealing), the NWChem-style baseline,
 //!   the SCF driver, the Section III-G performance model, and cluster-scale
@@ -37,3 +41,4 @@ pub use distrt;
 pub use eri;
 pub use fock_core as core;
 pub use linalg;
+pub use obs;

@@ -22,7 +22,10 @@ fn density(nbf: usize) -> Vec<f64> {
 }
 
 fn max_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[test]
@@ -38,12 +41,23 @@ fn all_builders_agree_on_benzene() {
     let (reference, ref_quartets) = build_g_seq(&prob, &d);
     assert!(ref_quartets > 0);
 
-    for grid in [ProcessGrid::new(1, 1), ProcessGrid::new(2, 3), ProcessGrid::new(4, 2)] {
+    for grid in [
+        ProcessGrid::new(1, 1),
+        ProcessGrid::new(2, 3),
+        ProcessGrid::new(4, 2),
+    ] {
         for steal in [false, true] {
             let (g, rep) = build_fock_gtfock(&prob, &d, GtfockConfig { grid, steal });
-            assert_eq!(rep.total_quartets(), ref_quartets, "grid {grid:?} steal {steal}");
+            assert_eq!(
+                rep.total_quartets(),
+                ref_quartets,
+                "grid {grid:?} steal {steal}"
+            );
             let diff = max_diff(&reference, &g);
-            assert!(diff < 1e-10, "gtfock grid {grid:?} steal {steal}: diff {diff}");
+            assert!(
+                diff < 1e-10,
+                "gtfock grid {grid:?} steal {steal}: diff {diff}"
+            );
         }
     }
     for nprocs in [1usize, 3, 6] {
@@ -70,9 +84,19 @@ fn builders_agree_with_heavy_screening() {
     let (g1, r1) = build_fock_gtfock(
         &prob,
         &d,
-        GtfockConfig { grid: ProcessGrid::new(3, 3), steal: true },
+        GtfockConfig {
+            grid: ProcessGrid::new(3, 3),
+            steal: true,
+        },
     );
-    let (g2, r2) = build_fock_nwchem(&prob, &d, NwchemConfig { nprocs: 4, chunk: 3 });
+    let (g2, r2) = build_fock_nwchem(
+        &prob,
+        &d,
+        NwchemConfig {
+            nprocs: 4,
+            chunk: 3,
+        },
+    );
     assert_eq!(r1.total_quartets(), ref_quartets);
     assert_eq!(r2.total_quartets(), ref_quartets);
     assert!(max_diff(&reference, &g1) < 1e-10);

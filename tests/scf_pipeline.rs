@@ -4,36 +4,57 @@
 
 use fock_repro::chem::reorder::ShellOrdering;
 use fock_repro::chem::{generators, BasisSetKind};
+use fock_repro::core::build::{gtfock_builder, nwchem_builder};
 use fock_repro::core::gtfock::GtfockConfig;
 use fock_repro::core::nwchem::NwchemConfig;
-use fock_repro::core::scf::{run_scf, DensityMethod, FockBuilder, ScfConfig};
+use fock_repro::core::scf::{run_scf, DensityMethod, ScfConfig};
 use fock_repro::distrt::ProcessGrid;
 
 #[test]
 fn methane_sto3g_reference_energy() {
     // RHF/STO-3G methane at r(CH) = 1.09 Å ≈ −39.72 Ha.
-    let r = run_scf(generators::methane(), BasisSetKind::Sto3g, ScfConfig::default()).unwrap();
+    let r = run_scf(
+        generators::methane(),
+        BasisSetKind::Sto3g,
+        ScfConfig::default(),
+    )
+    .unwrap();
     assert!(r.converged, "not converged in {} iterations", r.iterations);
     assert!((r.energy - (-39.72)).abs() < 5e-2, "E = {}", r.energy);
 }
 
 #[test]
 fn water_full_pipeline_gtfock_builder() {
-    let cfg = ScfConfig {
-        builder: FockBuilder::Gtfock(GtfockConfig { grid: ProcessGrid::new(2, 2), steal: true }),
-        ordering: ShellOrdering::cells_default(),
-        ..ScfConfig::default()
-    };
+    let cfg = ScfConfig::builder()
+        .fock_builder(gtfock_builder(GtfockConfig {
+            grid: ProcessGrid::new(2, 2),
+            steal: true,
+        }))
+        .ordering(ShellOrdering::cells_default())
+        .build();
     let par = run_scf(generators::water(), BasisSetKind::Sto3g, cfg).unwrap();
-    let seq = run_scf(generators::water(), BasisSetKind::Sto3g, ScfConfig::default()).unwrap();
+    let seq = run_scf(
+        generators::water(),
+        BasisSetKind::Sto3g,
+        ScfConfig::default(),
+    )
+    .unwrap();
     assert!(par.converged && seq.converged);
-    assert!((par.energy - seq.energy).abs() < 1e-9, "{} vs {}", par.energy, seq.energy);
+    assert!(
+        (par.energy - seq.energy).abs() < 1e-9,
+        "{} vs {}",
+        par.energy,
+        seq.energy
+    );
 }
 
 #[test]
 fn water_full_pipeline_nwchem_builder_with_purification() {
     let cfg = ScfConfig {
-        builder: FockBuilder::Nwchem(NwchemConfig { nprocs: 3, chunk: 4 }),
+        builder: nwchem_builder(NwchemConfig {
+            nprocs: 3,
+            chunk: 4,
+        }),
         density: DensityMethod::Purification,
         ..ScfConfig::default()
     };
@@ -48,13 +69,23 @@ fn hydrogen_dissociation_curve_is_sane() {
     let energies: Vec<f64> = [1.0, 1.4, 2.5]
         .iter()
         .map(|&r| {
-            run_scf(generators::hydrogen(r), BasisSetKind::Sto3g, ScfConfig::default())
-                .unwrap()
-                .energy
+            run_scf(
+                generators::hydrogen(r),
+                BasisSetKind::Sto3g,
+                ScfConfig::default(),
+            )
+            .unwrap()
+            .energy
         })
         .collect();
-    assert!(energies[1] < energies[0], "1.4 should beat 1.0: {energies:?}");
-    assert!(energies[1] < energies[2], "1.4 should beat 2.5: {energies:?}");
+    assert!(
+        energies[1] < energies[0],
+        "1.4 should beat 1.0: {energies:?}"
+    );
+    assert!(
+        energies[1] < energies[2],
+        "1.4 should beat 2.5: {energies:?}"
+    );
 }
 
 #[test]
@@ -63,11 +94,26 @@ fn density_idempotency_in_overlap_metric() {
     use fock_repro::eri::oneints::overlap_matrix;
     use fock_repro::linalg::gemm::gemm;
     use fock_repro::linalg::Mat;
-    let r = run_scf(generators::water(), BasisSetKind::Sto3g, ScfConfig::default()).unwrap();
+    let r = run_scf(
+        generators::water(),
+        BasisSetKind::Sto3g,
+        ScfConfig::default(),
+    )
+    .unwrap();
     let nbf = r.problem.nbf();
     let s = Mat::from_vec(nbf, nbf, overlap_matrix(&r.problem.basis));
-    let dsd = gemm(1.0, &gemm(1.0, &r.density, &s, 0.0, None), &r.density, 0.0, None);
-    assert!(dsd.max_abs_diff(&r.density) < 1e-6, "DSD != D: {}", dsd.max_abs_diff(&r.density));
+    let dsd = gemm(
+        1.0,
+        &gemm(1.0, &r.density, &s, 0.0, None),
+        &r.density,
+        0.0,
+        None,
+    );
+    assert!(
+        dsd.max_abs_diff(&r.density) < 1e-6,
+        "DSD != D: {}",
+        dsd.max_abs_diff(&r.density)
+    );
     // Trace of D·S = number of occupied orbitals.
     let ds = gemm(1.0, &r.density, &s, 0.0, None);
     assert!((ds.trace() - 5.0).abs() < 1e-8, "tr(DS) = {}", ds.trace());

@@ -14,8 +14,13 @@ use fock_repro::eri::CostModel;
 fn workload(mol: fock_repro::chem::Molecule) -> (FockProblem, CostModel) {
     let basis = BasisInstance::new(mol.clone(), BasisSetKind::Sto3g).unwrap();
     let cost = CostModel::calibrate(&basis, 1);
-    let prob =
-        FockProblem::new(mol, BasisSetKind::Sto3g, 1e-10, ShellOrdering::cells_default()).unwrap();
+    let prob = FockProblem::new(
+        mol,
+        BasisSetKind::Sto3g,
+        1e-10,
+        ShellOrdering::cells_default(),
+    )
+    .unwrap();
     (prob, cost)
 }
 
@@ -30,8 +35,14 @@ fn strong_scaling_monotone_for_both_algorithms() {
     for cores in [12usize, 48, 192, 768] {
         let g = gt.simulate(machine, cores, true).t_fock_max();
         let n = nw.simulate(machine, cores, 5).t_fock_max();
-        assert!(g < prev_gt, "GTFock no speedup at {cores}: {g} !< {prev_gt}");
-        assert!(n < prev_nw * 1.05, "NWChem regressed at {cores}: {n} vs {prev_nw}");
+        assert!(
+            g < prev_gt,
+            "GTFock no speedup at {cores}: {g} !< {prev_gt}"
+        );
+        assert!(
+            n < prev_nw * 1.05,
+            "NWChem regressed at {cores}: {n} vs {prev_nw}"
+        );
         prev_gt = g;
         prev_nw = n;
     }
@@ -61,7 +72,12 @@ fn gtfock_fewer_calls_and_bytes() {
     let machine = MachineParams::lonestar();
     let g = GtfockSimModel::new(&prob, &cost).simulate(machine, 192, true);
     let n = NwchemSimModel::new(&prob, &cost).simulate(machine, 192, 5);
-    assert!(g.avg_calls() < n.avg_calls(), "calls {} !< {}", g.avg_calls(), n.avg_calls());
+    assert!(
+        g.avg_calls() < n.avg_calls(),
+        "calls {} !< {}",
+        g.avg_calls(),
+        n.avg_calls()
+    );
 }
 
 #[test]
@@ -81,10 +97,10 @@ fn alkane_screens_far_more_than_flake() {
     // totals per shell⁴ volume.
     let (flake, fc) = workload(generators::graphene_flake(2));
     let (chain, cc) = workload(generators::linear_alkane(14));
-    let qf = GtfockSimModel::new(&flake, &fc).total_quartets() as f64
-        / (flake.nshells() as f64).powi(4);
-    let qc = GtfockSimModel::new(&chain, &cc).total_quartets() as f64
-        / (chain.nshells() as f64).powi(4);
+    let qf =
+        GtfockSimModel::new(&flake, &fc).total_quartets() as f64 / (flake.nshells() as f64).powi(4);
+    let qc =
+        GtfockSimModel::new(&chain, &cc).total_quartets() as f64 / (chain.nshells() as f64).powi(4);
     assert!(qc < qf, "chain fraction {qc} !< flake fraction {qf}");
 }
 
@@ -102,6 +118,9 @@ fn work_conserved_across_core_counts() {
         })
         .collect();
     for w in totals.windows(2) {
-        assert!((w[0] - w[1]).abs() < 1e-9 * w[0].max(1e-12), "work not conserved: {totals:?}");
+        assert!(
+            (w[0] - w[1]).abs() < 1e-9 * w[0].max(1e-12),
+            "work not conserved: {totals:?}"
+        );
     }
 }

@@ -1,0 +1,214 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro/builder surface of criterion that the `micro`
+//! bench suite uses — `criterion_group!`/`criterion_main!`,
+//! `Criterion::default().sample_size(..).measurement_time(..)`,
+//! `bench_function` and `benchmark_group` — with a simple but honest
+//! measurement loop: per sample, the closure is timed over an
+//! auto-calibrated iteration count, and the median / min / max of the
+//! samples are reported. Statistical machinery (outlier analysis, HTML
+//! reports) is intentionally absent.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            prefix: name.to_string(),
+        }
+    }
+}
+
+/// A named group; benchmark ids are reported as `group/function`.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.prefix, name);
+        run_bench(&id, self.c, &mut f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(2);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure; `iter` runs and times the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, cfg: &Criterion, f: &mut F) {
+    // Calibrate the per-sample iteration count against the warm-up budget.
+    let mut iters = 1u64;
+    let warm_start = Instant::now();
+    let mut once = time_once(f, 1);
+    while once < Duration::from_micros(100)
+        && warm_start.elapsed() < cfg.warm_up_time
+        && iters < 1 << 24
+    {
+        iters *= 4;
+        once = time_once(f, iters);
+    }
+    let per_iter = once.as_secs_f64() / iters as f64;
+    let sample_budget = cfg.measurement_time.as_secs_f64() / cfg.sample_size as f64;
+    if per_iter > 0.0 {
+        iters = ((sample_budget / per_iter).floor() as u64).clamp(1, 1 << 28);
+    }
+
+    let mut samples: Vec<f64> = (0..cfg.sample_size)
+        .map(|_| time_once(f, iters).as_secs_f64() / iters as f64)
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<40} time: [{} {} {}] ({} samples x {} iters)",
+        fmt_time(samples[0]),
+        fmt_time(median),
+        fmt_time(*samples.last().expect("non-empty samples")),
+        samples.len(),
+        iters,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_runs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("f", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline stand-in for the `crossbeam-deque` crate.
+//!
+//! Implements the `Worker` / `Stealer` / `Steal` surface the GTFock
+//! scheduler uses, on top of a mutex-guarded `VecDeque` per worker. The
+//! scheduling semantics match crossbeam's FIFO deque: owners pop from the
+//! front, `steal_batch_and_pop` moves up to half of the victim's queue to
+//! the thief and returns the first stolen task atomically (so a lone task
+//! can never ping-pong between idle thieves without being executed).
+//! Contention behaviour differs (a lock instead of lock-free CAS), which
+//! for this workspace's thread counts is indistinguishable.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    Success(T),
+    Empty,
+    Retry,
+}
+
+/// Owner handle of one queue.
+pub struct Worker<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// Thief handle onto another worker's queue.
+pub struct Stealer<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// FIFO queue: `push` appends at the back, `pop` takes from the front.
+    pub fn new_fifo() -> Self {
+        Worker {
+            q: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    pub fn push(&self, task: T) {
+        self.q
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(task);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        self.q.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.q.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.q.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            q: Arc::clone(&self.q),
+        }
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            q: Arc::clone(&self.q),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.q.lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Move up to half of the victim's tasks to `dest` and pop the first
+    /// of them for immediate execution.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let batch: Vec<T> = {
+            let mut victim = self.q.lock().unwrap_or_else(|e| e.into_inner());
+            if victim.is_empty() {
+                return Steal::Empty;
+            }
+            let take = victim.len().div_ceil(2);
+            victim.drain(..take).collect()
+        };
+        let mut it = batch.into_iter();
+        let first = it.next().expect("batch is non-empty");
+        let mut dq = dest.q.lock().unwrap_or_else(|e| e.into_inner());
+        for t in it {
+            dq.push_back(t);
+        }
+        Steal::Success(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+    }
+
+    #[test]
+    fn steal_batch_takes_half_and_pops() {
+        let victim = Worker::new_fifo();
+        for i in 0..10 {
+            victim.push(i);
+        }
+        let thief = Worker::new_fifo();
+        match victim.stealer().steal_batch_and_pop(&thief) {
+            Steal::Success(first) => assert_eq!(first, 0),
+            other => panic!("expected success, got {other:?}"),
+        }
+        assert_eq!(thief.len(), 4); // 5 stolen, 1 popped
+        assert_eq!(victim.len(), 5);
+    }
+
+    #[test]
+    fn steal_from_empty() {
+        let victim: Worker<u32> = Worker::new_fifo();
+        let thief = Worker::new_fifo();
+        assert_eq!(victim.stealer().steal_batch_and_pop(&thief), Steal::Empty);
+    }
+
+    #[test]
+    fn no_task_lost_under_concurrent_stealing() {
+        let owner = Worker::new_fifo();
+        for i in 0..1000u32 {
+            owner.push(i);
+        }
+        let stealer = owner.stealer();
+        let done: std::sync::Mutex<Vec<u32>> = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let stealer = stealer.clone();
+                let done = &done;
+                s.spawn(move || {
+                    let mine = Worker::new_fifo();
+                    let mut got = Vec::new();
+                    loop {
+                        match mine.pop() {
+                            Some(t) => got.push(t),
+                            None => match stealer.steal_batch_and_pop(&mine) {
+                                Steal::Success(t) => got.push(t),
+                                Steal::Empty => break,
+                                Steal::Retry => continue,
+                            },
+                        }
+                    }
+                    done.lock().unwrap().extend(got);
+                });
+            }
+        });
+        let mut all = done.into_inner().unwrap();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The container this repository builds in has no network access to
+//! crates.io, so the workspace vendors the *narrow* rayon surface it
+//! actually uses — `(0..n).into_par_iter().map(..).collect()`,
+//! `.for_each(..)`, and `slice.par_chunks_mut(n).enumerate().for_each(..)`
+//! — implemented on `std::thread::scope`. Work is split into one
+//! contiguous span per available core; results of `map` are reassembled
+//! in order, so observable behaviour (including float summation order
+//! within an item) matches real rayon's per-item semantics.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+/// Number of worker threads to fan out to (the host's logical cores).
+fn nthreads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `n` items into at most `nthreads()` contiguous spans.
+fn spans(n: usize) -> Vec<Range<usize>> {
+    let workers = nthreads().min(n.max(1));
+    let base = n / workers;
+    let extra = n % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+pub trait IntoParallelIterator {
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    pub fn map<T, F>(self, f: F) -> ParMap<F>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        ParMap {
+            range: self.range,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let n = self.range.len();
+        let start = self.range.start;
+        let f = &f;
+        std::thread::scope(|scope| {
+            for span in spans(n) {
+                scope.spawn(move || {
+                    for i in span {
+                        f(start + i);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Mapped parallel iterator; `collect` preserves index order.
+pub struct ParMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParMap<F> {
+    pub fn collect<C, T>(self) -> C
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+        C: From<Vec<T>>,
+    {
+        let n = self.range.len();
+        let start = self.range.start;
+        let f = &self.f;
+        let mut parts: Vec<Vec<T>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = spans(n)
+                .into_iter()
+                .map(|span| scope.spawn(move || span.map(|i| f(start + i)).collect::<Vec<T>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon shim worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        for p in &mut parts {
+            out.append(p);
+        }
+        C::from(out)
+    }
+
+    pub fn for_each<G, T>(self, g: G)
+    where
+        F: Fn(usize) -> T + Sync,
+        G: Fn(T) + Sync,
+        T: Send,
+    {
+        let range = self.range;
+        let f = self.f;
+        ParRange { range }.for_each(move |i| g(f(i)));
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ParChunksMut { data: self, chunk }
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    data: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            data: self.data,
+            chunk: self.chunk,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+pub struct ParChunksMutEnumerate<'a, T> {
+    data: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunk = self.chunk;
+        let chunks: Vec<&mut [T]> = self.data.chunks_mut(chunk).collect();
+        let n = chunks.len();
+        let f = &f;
+        // Hand each worker a contiguous run of chunks with its base index.
+        let mut remaining = chunks;
+        std::thread::scope(|scope| {
+            for span in spans(n).into_iter().rev() {
+                let tail = remaining.split_off(span.start);
+                scope.spawn(move || {
+                    for (off, c) in tail.into_iter().enumerate() {
+                        f((span.start + off, c));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn for_each_covers_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        (0..100).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerated() {
+        let mut data = vec![0usize; 37];
+        data.par_chunks_mut(5).enumerate().for_each(|(ci, c)| {
+            for x in c.iter_mut() {
+                *x = ci;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i / 5);
+        }
+    }
+
+    #[test]
+    fn empty_range_ok() {
+        let v: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+}
