@@ -26,6 +26,25 @@ use obs::Recorder;
 /// [`BuildReport::total_quartets`].
 pub const QUARTETS_COUNTER: &str = "fock.quartets";
 
+/// Counter of quartets that passed plain Schwarz screening but were
+/// dropped by the density-weighted test `max|D|·Q_MN·Q_PQ ≤ τ` — the ERI
+/// work an incremental (ΔD) build saves. Mirrors
+/// [`BuildReport::total_density_skipped`].
+pub const DENSITY_SKIPPED_COUNTER: &str = "screen.skipped_density";
+
+/// Histogram of the effective density's global block-norm max, recorded
+/// once per build in nano-units (`(max|D| · 1e9) as u64` — same fixed
+/// scaling `Histogram::record_secs` uses). Across an incremental SCF the
+/// bucket indices march down as ΔD shrinks, making the per-iteration
+/// screening saving visible in a trace.
+pub const DMAX_HISTOGRAM: &str = "screen.dmax";
+
+/// Record one build's effective-density norm into [`DMAX_HISTOGRAM`].
+pub(crate) fn record_dmax(rec: &Recorder, dmax: f64) {
+    rec.histogram(DMAX_HISTOGRAM)
+        .record((dmax.max(0.0) * 1e9) as u64);
+}
+
 /// Per-process measurements of one Fock build, shared by all builders.
 /// Fields irrelevant to a given algorithm stay zero (e.g. `steals` for the
 /// centralized baseline, `queue_accesses` for GTFock).
@@ -37,6 +56,10 @@ pub struct BuildReport {
     pub t_comp: Vec<f64>,
     /// Quartets each process computed.
     pub quartets: Vec<u64>,
+    /// Quartets each process dropped via the density-weighted screen that
+    /// plain Schwarz would have computed (0 everywhere when the effective
+    /// density has block norms ≥ 1, as in a fresh full build).
+    pub density_skipped: Vec<u64>,
     /// Successful steal operations per process (work-stealing builders).
     pub steals: Vec<u64>,
     /// Distinct steal victims per process (the model's `s`).
@@ -55,6 +78,7 @@ impl BuildReport {
             t_fock: vec![0.0; nprocs],
             t_comp: vec![0.0; nprocs],
             quartets: vec![0; nprocs],
+            density_skipped: vec![0; nprocs],
             steals: vec![0; nprocs],
             victims: vec![0; nprocs],
             queue_accesses: 0,
@@ -99,6 +123,11 @@ impl BuildReport {
 
     pub fn total_quartets(&self) -> u64 {
         self.quartets.iter().sum()
+    }
+
+    /// Quartets the density-weighted screen dropped beyond plain Schwarz.
+    pub fn total_density_skipped(&self) -> u64 {
+        self.density_skipped.iter().sum()
     }
 
     pub fn total_steals(&self) -> u64 {

@@ -14,14 +14,14 @@
 //! sequential reference for any grid shape and any stealing schedule —
 //! the correctness tests exercise exactly that.
 
-use crate::build::{BuildReport, QUARTETS_COUNTER};
+use crate::build::{record_dmax, BuildReport, DENSITY_SKIPPED_COUNTER, QUARTETS_COUNTER};
 use crate::localbuf::{LocalBuffers, LocalSink, ShellDims};
 use crate::partition::StaticPartition;
 use crate::sink::do_task;
 use crate::tasks::FockProblem;
 use crossbeam_deque::{Steal, Stealer, Worker};
 use distrt::{GlobalArray, ProcessGrid};
-use eri::EriEngine;
+use eri::{DensityNorms, EriEngine};
 use obs::{EventKind, Recorder};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -75,6 +75,10 @@ pub fn build_fock_gtfock_rec(
     let nprocs = cfg.grid.nprocs();
     let part = StaticPartition::new(cfg.grid, prob.nshells());
     let dims = ShellDims::new(prob);
+    // Block norms of the effective density, shared read-only by every
+    // worker: the weighted quartet test drops work ΔD cannot reach.
+    let dn = DensityNorms::compute(&prob.basis, d_dense);
+    record_dmax(rec, dn.max);
 
     let mut ga_d = GlobalArray::from_dense(cfg.grid, nbf, nbf, d_dense);
     let mut ga_f = GlobalArray::zeros(cfg.grid, nbf, nbf);
@@ -96,6 +100,7 @@ pub fn build_fock_gtfock_rec(
         t_fock: f64,
         t_comp: f64,
         quartets: u64,
+        density_skipped: u64,
         steals: u64,
         victims: u64,
         /// Recorder timestamp when this worker finished (join wait =
@@ -111,6 +116,7 @@ pub fn build_fock_gtfock_rec(
             let ga_f = &ga_f;
             let dims = &dims;
             let part = &part;
+            let dn = &dn;
             handles.push(scope.spawn(move || {
                 let mut w = rec.worker(rank);
                 let steal_ns = rec.histogram("gtfock.steal_ns");
@@ -118,6 +124,7 @@ pub fn build_fock_gtfock_rec(
                 let start = Instant::now();
                 let mut comp = 0.0f64;
                 let mut quartets = 0u64;
+                let mut density_skipped = 0u64;
                 let mut steals = 0u64;
                 let mut eng = EriEngine::new();
                 let mut scratch = Vec::new();
@@ -184,10 +191,11 @@ pub fn build_fock_gtfock_rec(
                     w.task_start(m, n);
                     let t0 = Instant::now();
                     let mut sink = LocalSink { buf, dims };
-                    let q = do_task(&mut sink, prob, &mut eng, &mut scratch, m, n);
+                    let c = do_task(&mut sink, prob, &mut eng, &mut scratch, dn, m, n);
                     comp += t0.elapsed().as_secs_f64();
-                    w.task_end(m, n, q);
-                    quartets += q;
+                    w.task_end(m, n, c.computed);
+                    quartets += c.computed;
+                    density_skipped += c.skipped_density;
                 }
 
                 let victims = bufs.len() as u64 - 1;
@@ -205,11 +213,13 @@ pub fn build_fock_gtfock_rec(
                 w.event(EventKind::WorkerEnd);
                 let end_t = w.now();
                 rec.counter(QUARTETS_COUNTER).add(quartets);
+                rec.counter(DENSITY_SKIPPED_COUNTER).add(density_skipped);
                 ThreadOut {
                     rank,
                     t_fock: start.elapsed().as_secs_f64(),
                     t_comp: comp,
                     quartets,
+                    density_skipped,
                     steals,
                     victims,
                     end_t,
@@ -228,6 +238,7 @@ pub fn build_fock_gtfock_rec(
         report.t_fock[o.rank] = o.t_fock;
         report.t_comp[o.rank] = o.t_comp;
         report.quartets[o.rank] = o.quartets;
+        report.density_skipped[o.rank] = o.density_skipped;
         report.steals[o.rank] = o.steals;
         report.victims[o.rank] = o.victims;
         let mut c = ga_d.stats(o.rank);

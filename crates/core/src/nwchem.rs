@@ -10,11 +10,11 @@
 //! the per-quartet communication the paper contrasts with GTFock's bulk
 //! prefetch.
 
-use crate::build::{BuildReport, QUARTETS_COUNTER};
-use crate::sink::{apply_quartet, FockSink, QUARTET_PERMS};
+use crate::build::{record_dmax, BuildReport, DENSITY_SKIPPED_COUNTER, QUARTETS_COUNTER};
+use crate::sink::{apply_quartet, FockSink, TaskCounts, QUARTET_PERMS};
 use crate::tasks::FockProblem;
 use distrt::{GlobalArray, ProcessGrid};
-use eri::EriEngine;
+use eri::{DensityNorms, EriEngine};
 use obs::{EventKind, Recorder};
 use std::collections::HashMap;
 use std::ops::Range;
@@ -260,6 +260,10 @@ pub fn build_fock_nwchem_rec(
     assert_eq!(d_dense.len(), nbf * nbf);
     let atoms = AtomMap::new(prob);
     let atom_of_shell = atoms.atom_of_shell(prob);
+    // Effective-density block norms — same weighted quartet test as the
+    // sequential and GTFock paths, so all builders agree quartet-for-quartet.
+    let dn = DensityNorms::compute(&prob.basis, d_dense);
+    record_dmax(rec, dn.max);
     let mut atom_of_bf = vec![0u32; nbf];
     for (a, r) in atoms.bfs.iter().enumerate() {
         for i in r.clone() {
@@ -282,6 +286,7 @@ pub fn build_fock_nwchem_rec(
         t_fock: f64,
         t_comp: f64,
         quartets: u64,
+        density_skipped: u64,
         end_t: f64,
     }
 
@@ -291,12 +296,14 @@ pub fn build_fock_nwchem_rec(
             let (ga_d, ga_f) = (&ga_d, &ga_f);
             let (next_task, queue_accesses) = (&next_task, &queue_accesses);
             let (atoms, atom_of_shell, atom_of_bf) = (&atoms, &atom_of_shell, &atom_of_bf);
+            let dn = &dn;
             handles.push(scope.spawn(move || {
                 let mut w = rec.worker(rank);
                 w.event(EventKind::WorkerStart);
                 let start = Instant::now();
                 let mut comp = 0.0;
                 let mut quartets = 0u64;
+                let mut density_skipped = 0u64;
                 let mut eng = EriEngine::new();
                 let mut scratch = Vec::new();
                 let mut my_task = {
@@ -311,7 +318,7 @@ pub fn build_fock_nwchem_rec(
                         let mut task_q = 0u64;
                         for l in l_lo..=l_hi {
                             if atoms.pair_value(i, j) * atoms.pair_value(k, l) > prob.tau {
-                                task_q += do_atom_quartet(
+                                let c = do_atom_quartet(
                                     prob,
                                     atoms,
                                     atom_of_shell,
@@ -321,9 +328,12 @@ pub fn build_fock_nwchem_rec(
                                     rank,
                                     &mut eng,
                                     &mut scratch,
+                                    dn,
                                     [i, j, k, l],
                                     &mut comp,
                                 );
+                                task_q += c.computed;
+                                density_skipped += c.skipped_density;
                             }
                         }
                         w.task_end(i, j, task_q);
@@ -337,11 +347,13 @@ pub fn build_fock_nwchem_rec(
                 w.event(EventKind::WorkerEnd);
                 let end_t = w.now();
                 rec.counter(QUARTETS_COUNTER).add(quartets);
+                rec.counter(DENSITY_SKIPPED_COUNTER).add(density_skipped);
                 Out {
                     rank,
                     t_fock: start.elapsed().as_secs_f64(),
                     t_comp: comp,
                     quartets,
+                    density_skipped,
                     end_t,
                 }
             }));
@@ -359,6 +371,7 @@ pub fn build_fock_nwchem_rec(
         report.t_fock[o.rank] = o.t_fock;
         report.t_comp[o.rank] = o.t_comp;
         report.quartets[o.rank] = o.quartets;
+        report.density_skipped[o.rank] = o.density_skipped;
         let mut c = ga_d.stats(o.rank);
         c.merge(&ga_f.stats(o.rank));
         report.comm[o.rank] = c;
@@ -376,8 +389,8 @@ pub fn build_fock_nwchem_rec(
 }
 
 /// Execute one atom quartet: fetch its 6 D atom-pair blocks, compute the
-/// selected shell quartets, accumulate its F blocks. Returns quartets
-/// computed. `comp` accrues pure compute time.
+/// selected shell quartets, accumulate its F blocks. Returns the quartet
+/// counts (computed + density-skipped). `comp` accrues pure compute time.
 #[allow(clippy::too_many_arguments)]
 fn do_atom_quartet(
     prob: &FockProblem,
@@ -389,9 +402,10 @@ fn do_atom_quartet(
     rank: usize,
     eng: &mut EriEngine,
     scratch: &mut Vec<f64>,
+    dn: &DensityNorms,
     quartet: [usize; 4],
     comp: &mut f64,
-) -> u64 {
+) -> TaskCounts {
     let [i, j, k, l] = quartet;
     // The six unordered atom pairs this quartet touches.
     let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(6);
@@ -422,9 +436,12 @@ fn do_atom_quartet(
         );
     }
 
-    // Compute the selected shell quartets.
+    // Compute the selected shell quartets. The atom- and pair-level
+    // early-outs stay Schwarz-only (conservative), so the per-quartet
+    // weighted test below sees exactly the Schwarz-passing set — the
+    // computed and skipped counts match the sequential reference exactly.
     let t0 = Instant::now();
-    let mut count = 0u64;
+    let mut counts = TaskCounts::default();
     let at = [i as u32, j as u32, k as u32, l as u32];
     let sh = &prob.basis.shells;
     for m in atoms.shells[i].clone() {
@@ -440,9 +457,17 @@ fn do_atom_quartet(
                     if !class_rep_within(atom_of_shell, [m, n, p, q], at) {
                         continue;
                     }
+                    if prob.screening.pair(m, n)
+                        * prob.screening.pair(p, q)
+                        * dn.quartet_weight(m, n, p, q)
+                        <= prob.tau
+                    {
+                        counts.skipped_density += 1;
+                        continue;
+                    }
                     eng.quartet(&sh[m], &sh[n], &sh[p], &sh[q], scratch);
                     apply_quartet(&mut cache, prob, [m, n, p, q], scratch);
-                    count += 1;
+                    counts.computed += 1;
                 }
             }
         }
@@ -466,7 +491,7 @@ fn do_atom_quartet(
         }
         ga_f.acc(rank, rb, ra, &tbuf, 1.0);
     }
-    count
+    counts
 }
 
 #[cfg(test)]

@@ -11,10 +11,12 @@
 //!   what the parallel algorithms must match bit-for-bit in exact
 //!   arithmetic (and to ~1e-12 in floating point).
 
-use crate::build::{BuildOutcome, BuildReport, QUARTETS_COUNTER};
+use crate::build::{
+    record_dmax, BuildOutcome, BuildReport, DENSITY_SKIPPED_COUNTER, QUARTETS_COUNTER,
+};
 use crate::sink::{do_task, DenseSink, FockSink};
 use crate::tasks::FockProblem;
-use eri::EriEngine;
+use eri::{DensityNorms, EriEngine};
 use obs::{EventKind, Recorder};
 use std::time::Instant;
 
@@ -91,10 +93,13 @@ pub fn build_g_seq(prob: &FockProblem, d: &[f64]) -> (Vec<f64>, u64) {
 pub fn build_g_seq_rec(prob: &FockProblem, d: &[f64], rec: &Recorder) -> BuildOutcome {
     let nbf = prob.nbf();
     assert_eq!(d.len(), nbf * nbf);
+    let dn = DensityNorms::compute(&prob.basis, d);
+    record_dmax(rec, dn.max);
     let mut f = vec![0.0; nbf * nbf];
     let mut eng = EriEngine::new();
     let mut scratch = Vec::new();
     let mut quartets = 0;
+    let mut skipped = 0;
     let n = prob.nshells();
     let mut w = rec.worker(0);
     w.event(EventKind::WorkerStart);
@@ -103,20 +108,23 @@ pub fn build_g_seq_rec(prob: &FockProblem, d: &[f64], rec: &Recorder) -> BuildOu
     for m in 0..n {
         for nn in 0..n {
             w.task_start(m, nn);
-            let q = do_task(&mut sink, prob, &mut eng, &mut scratch, m, nn);
-            w.task_end(m, nn, q);
-            quartets += q;
+            let c = do_task(&mut sink, prob, &mut eng, &mut scratch, &dn, m, nn);
+            w.task_end(m, nn, c.computed);
+            quartets += c.computed;
+            skipped += c.skipped_density;
         }
     }
     let t_fock = start.elapsed().as_secs_f64();
     w.event(EventKind::WorkerEnd);
     drop(w);
     rec.counter(QUARTETS_COUNTER).add(quartets);
+    rec.counter(DENSITY_SKIPPED_COUNTER).add(skipped);
 
     let mut report = BuildReport::zeros(1);
     report.t_fock[0] = t_fock;
     report.t_comp[0] = t_fock;
     report.quartets[0] = quartets;
+    report.density_skipped[0] = skipped;
     BuildOutcome { g: f, report }
 }
 

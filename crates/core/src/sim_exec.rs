@@ -19,7 +19,7 @@ use crate::nwchem::AtomMap;
 use crate::partition::StaticPartition;
 use crate::tasks::{symmetry_check, FockProblem};
 use distrt::{MachineParams, ProcessGrid, Sim};
-use eri::CostModel;
+use eri::{CostModel, DensityNorms};
 use obs::{EventKind, Recorder};
 use rayon::prelude::*;
 
@@ -168,8 +168,19 @@ pub struct GtfockSimModel<'a> {
 }
 
 impl<'a> GtfockSimModel<'a> {
-    #[allow(clippy::needless_range_loop)] // type-bucket indices are used symbolically
     pub fn new(prob: &'a FockProblem, cost: &CostModel) -> Self {
+        Self::with_density(prob, cost, None)
+    }
+
+    /// [`Self::new`] with density-weighted task costs: quartet counts and
+    /// per-task costs apply the same weighted test as the builders, so the
+    /// §III-G model and the DES see the reduced incremental-build work.
+    #[allow(clippy::needless_range_loop)] // type-bucket indices are used symbolically
+    pub fn with_density(
+        prob: &'a FockProblem,
+        cost: &CostModel,
+        dn: Option<&DensityNorms>,
+    ) -> Self {
         let n = prob.nshells();
         let ntypes = cost.ntypes();
         // Φsym(m) bucketed by shell type, q descending.
@@ -187,6 +198,9 @@ impl<'a> GtfockSimModel<'a> {
             }
         }
         let tau = prob.tau;
+        // With no density every weight is 1 and the weighted tests below
+        // reduce to plain Schwarz.
+        let wcap = dn.map_or(1.0, |d| d.weight_cap());
         let type_of = &cost.type_of_shell;
 
         let rows: Vec<(Vec<f32>, Vec<u32>)> = (0..n)
@@ -210,11 +224,15 @@ impl<'a> GtfockSimModel<'a> {
                                 for tq in 0..ntypes {
                                     let cq = cost.cost_by_types(tm, tp as u16, tn, tq as u16);
                                     for &(qq, q) in &by_type[m][tq] {
-                                        if qp * qq <= tau {
+                                        if qp * qq * wcap <= tau {
                                             break; // sorted descending
                                         }
                                         let (p, q) = (p as usize, q as usize);
-                                        if p == q || symmetry_check(p, q) {
+                                        if (p == q || symmetry_check(p, q))
+                                            && dn.is_none_or(|d| {
+                                                qp * qq * d.quartet_weight(m, p, nn, q) > tau
+                                            })
+                                        {
                                             c += cq;
                                             qn += 1;
                                         }
@@ -238,20 +256,49 @@ impl<'a> GtfockSimModel<'a> {
                                     continue;
                                 }
                                 let cq = cost.cost_by_types(tm, tp as u16, tn, tq as u16);
-                                // Two-pointer count of pairs with qa*qb > tau:
-                                // as qa decreases, the admissible prefix of b
-                                // shrinks monotonically.
-                                let mut k = b.len();
-                                let mut cnt = 0u64;
-                                for &(qa, _) in a {
-                                    while k > 0 && qa * b[k - 1].0 <= tau {
-                                        k -= 1;
+                                let cnt = match dn {
+                                    None => {
+                                        // Two-pointer count of pairs with
+                                        // qa*qb > tau: as qa decreases, the
+                                        // admissible prefix of b shrinks
+                                        // monotonically.
+                                        let mut k = b.len();
+                                        let mut cnt = 0u64;
+                                        for &(qa, _) in a {
+                                            while k > 0 && qa * b[k - 1].0 <= tau {
+                                                k -= 1;
+                                            }
+                                            if k == 0 {
+                                                break;
+                                            }
+                                            cnt += k as u64;
+                                        }
+                                        cnt
                                     }
-                                    if k == 0 {
-                                        break;
+                                    Some(d) => {
+                                        // Per-quartet dmax defeats the
+                                        // two-pointer trick; count exactly,
+                                        // breaking early at the capped bound
+                                        // (weight ≤ wcap everywhere).
+                                        let mut cnt = 0u64;
+                                        for &(qa, p) in a {
+                                            if qa * b[0].0 * wcap <= tau {
+                                                break;
+                                            }
+                                            for &(qb, q) in b {
+                                                if qa * qb * wcap <= tau {
+                                                    break;
+                                                }
+                                                let w =
+                                                    d.quartet_weight(m, p as usize, nn, q as usize);
+                                                if qa * qb * w > tau {
+                                                    cnt += 1;
+                                                }
+                                            }
+                                        }
+                                        cnt
                                     }
-                                    cnt += k as u64;
-                                }
+                                };
                                 c += cq * cnt as f64;
                                 qn += cnt;
                             }
@@ -642,9 +689,9 @@ pub struct NwchemSimModel<'a> {
     prob: &'a FockProblem,
     atoms: AtomMap,
     /// Per atom pair (i*nat+j, canonical pairs only populated for i>=j …
-    /// but stored for all (i,j)): shell-pair Schwarz values sorted
-    /// descending.
-    pair_q: Vec<Vec<f64>>,
+    /// but stored for all (i,j)): (Schwarz value, shell m, shell n) sorted
+    /// by value descending. Shell ids feed the density-weighted test.
+    pair_q: Vec<Vec<(f64, u32, u32)>>,
     /// Average quartet cost c̄(apt1, apt2) between atom-type pairs
     /// (indexed by atom-pair type id), seconds.
     avg_cost: Vec<f64>,
@@ -652,12 +699,25 @@ pub struct NwchemSimModel<'a> {
     pair_type: Vec<usize>,
     /// D/F block bytes of atom pair (i,j).
     pair_bytes: Vec<u64>,
+    /// Effective-density block norms for weighted quartet counting (None →
+    /// plain Schwarz).
+    dn: Option<DensityNorms>,
     natoms: usize,
 }
 
 impl<'a> NwchemSimModel<'a> {
-    #[allow(clippy::needless_range_loop)] // type-bucket indices are used symbolically
     pub fn new(prob: &'a FockProblem, cost: &CostModel) -> Self {
+        Self::with_density(prob, cost, None)
+    }
+
+    /// [`Self::new`] with density-weighted quartet counts, matching the
+    /// weighted test the threaded NWChem builder applies per quartet.
+    #[allow(clippy::needless_range_loop)] // type-bucket indices are used symbolically
+    pub fn with_density(
+        prob: &'a FockProblem,
+        cost: &CostModel,
+        dn: Option<&DensityNorms>,
+    ) -> Self {
         let atoms = AtomMap::new(prob);
         let nat = atoms.natoms;
         // Atom type = multiset of shell types (C vs H etc.); identify by
@@ -695,7 +755,7 @@ impl<'a> NwchemSimModel<'a> {
         let nptypes = ntypes_at * ntypes_at;
 
         // Shell-pair q lists per atom pair (canonical shell pairs within).
-        let mut pair_q: Vec<Vec<f64>> = vec![Vec::new(); nat * nat];
+        let mut pair_q: Vec<Vec<(f64, u32, u32)>> = vec![Vec::new(); nat * nat];
         let thresh = prob.tau / prob.screening.max_q;
         for i in 0..nat {
             for j in 0..nat {
@@ -707,11 +767,11 @@ impl<'a> NwchemSimModel<'a> {
                         }
                         let q = prob.screening.pair(m, nsh);
                         if q >= thresh {
-                            v.push(q);
+                            v.push((q, m as u32, nsh as u32));
                         }
                     }
                 }
-                v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                v.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
                 pair_q[i * nat + j] = v;
             }
         }
@@ -771,6 +831,7 @@ impl<'a> NwchemSimModel<'a> {
             avg_cost,
             pair_type,
             pair_bytes,
+            dn: dn.cloned(),
             natoms: nat,
         }
     }
@@ -785,18 +846,44 @@ impl<'a> NwchemSimModel<'a> {
             return (0.0, 0);
         }
         let tau = self.prob.tau;
-        // Two-pointer count of surviving shell quartets.
-        let mut kk = b.len();
-        let mut cnt = 0u64;
-        for &qa in a {
-            while kk > 0 && qa * b[kk - 1] <= tau {
-                kk -= 1;
+        let cnt = match &self.dn {
+            None => {
+                // Two-pointer count of surviving shell quartets.
+                let mut kk = b.len();
+                let mut cnt = 0u64;
+                for &(qa, _, _) in a {
+                    while kk > 0 && qa * b[kk - 1].0 <= tau {
+                        kk -= 1;
+                    }
+                    if kk == 0 {
+                        break;
+                    }
+                    cnt += kk as u64;
+                }
+                cnt
             }
-            if kk == 0 {
-                break;
+            Some(d) => {
+                // Exact weighted count with early breaks at the capped
+                // bound (per-quartet weight ≤ wcap everywhere).
+                let wcap = d.weight_cap();
+                let mut cnt = 0u64;
+                for &(qa, m, nsh) in a {
+                    if qa * b[0].0 * wcap <= tau {
+                        break;
+                    }
+                    for &(qb, p, q) in b {
+                        if qa * qb * wcap <= tau {
+                            break;
+                        }
+                        let w = d.quartet_weight(m as usize, nsh as usize, p as usize, q as usize);
+                        if qa * qb * w > tau {
+                            cnt += 1;
+                        }
+                    }
+                }
+                cnt
             }
-            cnt += kk as u64;
-        }
+        };
         let nptypes = (self.avg_cost.len() as f64).sqrt() as usize;
         let c = self.avg_cost[self.pair_type[i * nat + j] * nptypes + self.pair_type[k * nat + l]];
         (c * cnt as f64, cnt)
@@ -1264,6 +1351,48 @@ mod tests {
         // One queue access per task plus the final empty poll per process.
         let accesses: u64 = totals.iter().map(|t| t.queue_accesses).sum();
         assert_eq!(accesses, tasks + r.nprocs as u64);
+    }
+
+    fn weak_density(nbf: usize, scale: f64) -> Vec<f64> {
+        let mut d = vec![0.0; nbf * nbf];
+        for i in 0..nbf {
+            for j in 0..nbf {
+                d[i * nbf + j] = scale / (1.0 + (i as f64 - j as f64).powi(2));
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn weighted_gtfock_model_matches_task_counts() {
+        let (prob, cost) = setup();
+        let d = weak_density(prob.nbf(), 0.05);
+        let dn = DensityNorms::compute(&prob.basis, &d);
+        let model = GtfockSimModel::with_density(&prob, &cost, Some(&dn));
+        let n = prob.nshells();
+        let want: u64 = (0..n)
+            .flat_map(|m| (0..n).map(move |nn| (m, nn)))
+            .map(|(m, nn)| prob.task_quartet_count_weighted(&dn, m, nn))
+            .sum();
+        assert_eq!(model.total_quartets(), want);
+        let plain = GtfockSimModel::new(&prob, &cost);
+        assert!(model.total_quartets() <= plain.total_quartets());
+    }
+
+    #[test]
+    fn weighted_models_shrink_with_the_density() {
+        // A near-converged ΔD (tiny entries) must strictly reduce the
+        // modeled work in both simulators.
+        let (prob, cost) = setup();
+        let d = weak_density(prob.nbf(), 1e-6);
+        let dn = DensityNorms::compute(&prob.basis, &d);
+        let gt_w = GtfockSimModel::with_density(&prob, &cost, Some(&dn));
+        let gt = GtfockSimModel::new(&prob, &cost);
+        assert!(gt_w.total_quartets() < gt.total_quartets());
+        assert!(gt_w.total_cost() < gt.total_cost());
+        let nw_w = NwchemSimModel::with_density(&prob, &cost, Some(&dn));
+        let nw = NwchemSimModel::new(&prob, &cost);
+        assert!(nw_w.total_cost(5) < nw.total_cost(5));
     }
 
     #[test]

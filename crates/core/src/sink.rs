@@ -16,7 +16,7 @@
 //! indices. Correctness is checked against brute-force full enumeration.
 
 use crate::tasks::FockProblem;
-use eri::EriEngine;
+use eri::{DensityNorms, EriEngine};
 
 /// Where quartet updates land. Implementations: dense matrices
 /// ([`DenseSink`]), prefetched process-local buffers
@@ -134,17 +134,27 @@ pub fn apply_quartet<S: FockSink>(
     }
 }
 
-/// Compute and apply every quartet of one task (M,:|N,:) — Algorithm 3.
-/// Returns the number of quartets computed.
+/// What one task's quartet loop did: ERIs evaluated, and quartets that
+/// plain Schwarz screening would have kept but the density-weighted test
+/// dropped (the incremental-build saving the obs counters surface).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskCounts {
+    pub computed: u64,
+    pub skipped_density: u64,
+}
+
+/// Compute and apply every quartet of one task (M,:|N,:) — Algorithm 3
+/// with the density-weighted quartet test. Returns the task's counts.
 pub fn do_task<S: FockSink>(
     sink: &mut S,
     prob: &FockProblem,
     eng: &mut EriEngine,
     scratch: &mut Vec<f64>,
+    dn: &DensityNorms,
     m: usize,
     n: usize,
-) -> u64 {
-    let mut quartets = 0;
+) -> TaskCounts {
+    let mut counts = TaskCounts::default();
     for &p in prob.phi(m) {
         let p = p as usize;
         for &q in prob.phi(n) {
@@ -152,13 +162,17 @@ pub fn do_task<S: FockSink>(
             if !prob.quartet_selected(m, p, n, q) {
                 continue;
             }
+            if !prob.quartet_selected_weighted(dn, m, p, n, q) {
+                counts.skipped_density += 1;
+                continue;
+            }
             let sh = &prob.basis.shells;
             eng.quartet(&sh[m], &sh[p], &sh[n], &sh[q], scratch);
             apply_quartet(sink, prob, [m, p, n, q], scratch);
-            quartets += 1;
+            counts.computed += 1;
         }
     }
-    quartets
+    counts
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use chem::molecule::Molecule;
 use chem::reorder::{reorder, ShellOrdering};
 use chem::shells::BasisInstance;
 use chem::BasisSetKind;
-use eri::Screening;
+use eri::{DensityNorms, Screening};
 
 /// The paper's SymmetryCheck predicate: for M ≠ N exactly one of
 /// `symmetry_check(M, N)`, `symmetry_check(N, M)` holds (chosen by index
@@ -93,12 +93,46 @@ impl FockProblem {
             && self.screening.pair(m, p) * self.screening.pair(n, q) > self.tau
     }
 
+    /// Density-weighted form of [`Self::quartet_selected`]: the quartet is
+    /// computed only when max|D-block|·Q_MP·Q_NQ exceeds τ (with the block
+    /// max capped at 1, so the weighted set is a subset of the Schwarz
+    /// set). With ΔD as the effective density this is what makes
+    /// incremental builds skip ever more ERI work as the SCF converges.
+    #[inline]
+    pub fn quartet_selected_weighted(
+        &self,
+        dn: &DensityNorms,
+        m: usize,
+        p: usize,
+        n: usize,
+        q: usize,
+    ) -> bool {
+        unique_quartet(m, p, n, q)
+            && self.screening.pair(m, p) * self.screening.pair(n, q) * dn.quartet_weight(m, p, n, q)
+                > self.tau
+    }
+
     /// Number of shell quartets task (M,:|N,:) will actually compute.
     pub fn task_quartet_count(&self, m: usize, n: usize) -> u64 {
         let mut count = 0;
         for &p in self.phi(m) {
             for &q in self.phi(n) {
                 if self.quartet_selected(m, p as usize, n, q as usize) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Number of shell quartets task (M,:|N,:) will compute against the
+    /// density described by `dn` — the count the weighted builders and the
+    /// DES task-cost estimates agree on.
+    pub fn task_quartet_count_weighted(&self, dn: &DensityNorms, m: usize, n: usize) -> u64 {
+        let mut count = 0;
+        for &p in self.phi(m) {
+            for &q in self.phi(n) {
+                if self.quartet_selected_weighted(dn, m, p as usize, n, q as usize) {
                     count += 1;
                 }
             }

@@ -219,7 +219,11 @@ impl GlobalArray {
         let r1 = block_owner(self.nrows, g.prow, rows.end - 1);
         let c0 = block_owner(self.ncols, g.pcol, cols.start);
         let c1 = block_owner(self.ncols, g.pcol, cols.end - 1);
-        let mut stats = self.stats[caller].lock();
+        // Accumulate accounting locally and publish it under the caller's
+        // stats lock once at the end — holding the lock across the block
+        // copies (and the user callback) would serialize every concurrent
+        // reader of this rank's stats against the whole patch transfer.
+        let mut delta = CommStats::default();
         for br in r0..=r1 {
             let rb = g.row_block(self.nrows, br);
             let ri = rows.start.max(rb.start)..rows.end.min(rb.end);
@@ -236,28 +240,29 @@ impl GlobalArray {
                 let bytes = (ri.len() * ci.len() * std::mem::size_of::<f64>()) as u64;
                 match kind {
                     OpKind::Get => {
-                        stats.get_calls += 1;
-                        stats.get_bytes += bytes;
+                        delta.get_calls += 1;
+                        delta.get_bytes += bytes;
                         self.rec.side_event(caller, EventKind::CommGet { bytes });
                     }
                     OpKind::Put => {
-                        stats.put_calls += 1;
-                        stats.put_bytes += bytes;
+                        delta.put_calls += 1;
+                        delta.put_bytes += bytes;
                         self.rec.side_event(caller, EventKind::CommPut { bytes });
                     }
                     OpKind::Acc => {
-                        stats.acc_calls += 1;
-                        stats.acc_bytes += bytes;
+                        delta.acc_calls += 1;
+                        delta.acc_bytes += bytes;
                         self.rec.side_event(caller, EventKind::CommAcc { bytes });
                     }
                 }
                 if rank == caller {
-                    stats.local_calls += 1;
-                    stats.local_bytes += bytes;
+                    delta.local_calls += 1;
+                    delta.local_bytes += bytes;
                 }
                 f(&self.blocks[rank], &ri, &ci, cb.len(), rb.start, cb.start);
             }
         }
+        self.stats[caller].lock().merge(&delta);
     }
 }
 

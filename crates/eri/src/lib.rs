@@ -32,5 +32,5 @@ pub mod spherical;
 pub mod teints;
 
 pub use cost::CostModel;
-pub use screening::Screening;
+pub use screening::{DensityNorms, Screening};
 pub use teints::EriEngine;

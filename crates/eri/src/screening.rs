@@ -5,6 +5,15 @@
 //! *significant* when (MN) ≥ τ/m with m = max (MN). The per-shell
 //! significant sets Φ(M) define the paper's task volume
 //! |(M,:|N,:)| = |Φ(M)|·|Φ(N)|.
+//!
+//! On top of the static pair values, [`DensityNorms`] captures the
+//! per-shell-pair block norms of the density a build is contracted
+//! against. A quartet's contribution to F is bounded by
+//! max|D-block|·(MN)·(PQ), so screening on that product — refreshed per
+//! build from the *effective* density (full D on a rebuild, ΔD on an
+//! incremental iteration) — shrinks the evaluated quartet set as the SCF
+//! converges. This is the direct-SCF optimization that makes incremental
+//! builds actually skip ERI work.
 
 use crate::teints::EriEngine;
 use chem::shells::BasisInstance;
@@ -184,6 +193,92 @@ impl Screening {
     }
 }
 
+/// Per-shell-pair block norms of one density matrix: `pair(m, p)` is
+/// max |D_ij| over the basis-function block of shell pair (M, P) *and its
+/// transpose* — the Fock update contracts both orientations, and the
+/// symmetrized norm is what makes [`Self::quartet_dmax`] invariant under
+/// the quartet symmetry group even for non-symmetric D. Recomputed per
+/// Fock build from the effective density (O(nbf²) — noise next to any ERI
+/// work), then combined with the static Schwarz pair values in the
+/// density-weighted quartet test.
+#[derive(Debug, Clone)]
+pub struct DensityNorms {
+    /// Number of shells.
+    pub n: usize,
+    /// Block norms, row-major n×n (symmetric for symmetric D).
+    norms: Vec<f64>,
+    /// Global max |D| over all blocks.
+    pub max: f64,
+}
+
+impl DensityNorms {
+    /// Compute block norms of `d` (row-major nbf×nbf in the ordering of
+    /// `basis`).
+    pub fn compute(basis: &BasisInstance, d: &[f64]) -> DensityNorms {
+        let n = basis.nshells();
+        let nbf = basis.nbf;
+        assert_eq!(d.len(), nbf * nbf, "density shape mismatch");
+        let shells = &basis.shells;
+        let mut norms = vec![0.0f64; n * n];
+        for (m, sm) in shells.iter().enumerate() {
+            for (p, sp) in shells.iter().enumerate() {
+                let mut mx = 0.0f64;
+                for i in sm.bf_offset..sm.bf_offset + sm.nfuncs() {
+                    for j in sp.bf_offset..sp.bf_offset + sp.nfuncs() {
+                        mx = mx.max(d[i * nbf + j].abs());
+                    }
+                }
+                norms[m * n + p] = mx;
+            }
+        }
+        // Symmetrize: both orientations of a block feed the J/K updates.
+        for m in 0..n {
+            for p in m + 1..n {
+                let v = norms[m * n + p].max(norms[p * n + m]);
+                norms[m * n + p] = v;
+                norms[p * n + m] = v;
+            }
+        }
+        let max = norms.iter().copied().fold(0.0f64, f64::max);
+        DensityNorms { n, norms, max }
+    }
+
+    /// Block norm max |D| of shell pair (M, P).
+    #[inline]
+    pub fn pair(&self, m: usize, p: usize) -> f64 {
+        self.norms[m * self.n + p]
+    }
+
+    /// Max block norm over the six density blocks quartet (MP|NQ) can
+    /// contract against in the J/K updates: (M,P), (N,Q), (M,N), (M,Q),
+    /// (P,N), (P,Q). Invariant under the quartet's 8-fold symmetry group
+    /// (the set of unordered pairs is), so every build path sees the same
+    /// bound regardless of which representative it visits.
+    #[inline]
+    pub fn quartet_dmax(&self, m: usize, p: usize, n: usize, q: usize) -> f64 {
+        let v = self.pair(m, p).max(self.pair(n, q));
+        let v = v.max(self.pair(m, n)).max(self.pair(m, q));
+        v.max(self.pair(p, n)).max(self.pair(p, q))
+    }
+
+    /// The factor the density weighting multiplies onto a Schwarz product
+    /// before comparing against τ, capped at 1 so the weighted quartet set
+    /// is always a *subset* of the plain Schwarz set (pair significance
+    /// sets, prefetch regions, and task enumeration stay valid as-is).
+    #[inline]
+    pub fn quartet_weight(&self, m: usize, p: usize, n: usize, q: usize) -> f64 {
+        self.quartet_dmax(m, p, n, q).min(1.0)
+    }
+
+    /// Conservative cap on [`Self::quartet_weight`] over *all* quartets —
+    /// for atom-level and pair-level early-outs that must never skip a
+    /// quartet the per-quartet test would keep.
+    #[inline]
+    pub fn weight_cap(&self) -> f64 {
+        self.max.min(1.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,5 +400,75 @@ mod tests {
         let (_, loose) = screening(generators::methane, 1e-4);
         let (_, tight) = screening(generators::methane, 1e-12);
         assert!(tight.unique_significant_quartets() >= loose.unique_significant_quartets());
+    }
+
+    #[test]
+    fn density_norms_are_block_maxima() {
+        let b = BasisInstance::new(generators::water(), BasisSetKind::Sto3g).unwrap();
+        let nbf = b.nbf;
+        let d: Vec<f64> = (0..nbf * nbf)
+            .map(|k| ((k % 7) as f64 - 3.0) * 0.1)
+            .collect();
+        let dn = DensityNorms::compute(&b, &d);
+        // Brute-force the symmetrized block maxima.
+        for (m, sm) in b.shells.iter().enumerate() {
+            for (p, sp) in b.shells.iter().enumerate() {
+                let mut mx = 0.0f64;
+                for i in sm.bf_offset..sm.bf_offset + sm.nfuncs() {
+                    for j in sp.bf_offset..sp.bf_offset + sp.nfuncs() {
+                        mx = mx.max(d[i * nbf + j].abs()).max(d[j * nbf + i].abs());
+                    }
+                }
+                assert_eq!(dn.pair(m, p), mx, "block ({m},{p})");
+                assert_eq!(dn.pair(m, p), dn.pair(p, m), "block ({m},{p}) asym");
+                assert!(dn.pair(m, p) <= dn.max);
+            }
+        }
+    }
+
+    #[test]
+    fn quartet_dmax_is_permutation_invariant() {
+        let b = BasisInstance::new(generators::methane(), BasisSetKind::Sto3g).unwrap();
+        let nbf = b.nbf;
+        let d: Vec<f64> = (0..nbf * nbf).map(|k| (k as f64).sin()).collect();
+        let dn = DensityNorms::compute(&b, &d);
+        let n = b.nshells();
+        // The 8 symmetry images of (MP|NQ): bra swap, ket swap, bra↔ket.
+        for (m, p, nn, q) in [(0usize, 1, 2, 3), (1, 1, 4, 2), (3, 3, 3, 3), (0, 2, 0, 2)] {
+            assert!(m < n && p < n && nn < n && q < n);
+            let want = dn.quartet_dmax(m, p, nn, q);
+            for (a, bb, c, dd) in [
+                (p, m, nn, q),
+                (m, p, q, nn),
+                (p, m, q, nn),
+                (nn, q, m, p),
+                (q, nn, m, p),
+                (nn, q, p, m),
+                (q, nn, p, m),
+            ] {
+                assert_eq!(dn.quartet_dmax(a, bb, c, dd), want);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_density_weights_everything_out() {
+        let b = BasisInstance::new(generators::water(), BasisSetKind::Sto3g).unwrap();
+        let d = vec![0.0; b.nbf * b.nbf];
+        let dn = DensityNorms::compute(&b, &d);
+        assert_eq!(dn.max, 0.0);
+        assert_eq!(dn.quartet_weight(0, 0, 0, 0), 0.0);
+        assert_eq!(dn.weight_cap(), 0.0);
+    }
+
+    #[test]
+    fn large_density_weight_caps_at_one() {
+        let b = BasisInstance::new(generators::water(), BasisSetKind::Sto3g).unwrap();
+        let d = vec![5.0; b.nbf * b.nbf];
+        let dn = DensityNorms::compute(&b, &d);
+        assert_eq!(dn.max, 5.0);
+        // Capped: the weighted quartet set can never exceed the Schwarz set.
+        assert_eq!(dn.quartet_weight(0, 1, 2, 3), 1.0);
+        assert_eq!(dn.weight_cap(), 1.0);
     }
 }

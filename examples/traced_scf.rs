@@ -1,12 +1,15 @@
-//! The unified [`FockBuild`] API with telemetry: run a full SCF through
-//! the GTFock builder with an enabled [`Recorder`], then read the
-//! iteration / task / steal event streams and the metrics registry back
-//! out of the recording.
+//! The unified [`FockBuild`] API with telemetry: run an incremental (ΔD)
+//! SCF through the GTFock builder with an enabled [`Recorder`], then read
+//! the iteration / task / steal event streams and the metrics registry —
+//! including the density-weighted screening counters — back out of the
+//! recording.
 //!
 //! Run with: `cargo run --release --example traced_scf`
 
 use fock_repro::chem::{generators, BasisSetKind};
-use fock_repro::core::build::{gtfock_builder, SchedulerOpts, QUARTETS_COUNTER};
+use fock_repro::core::build::{
+    gtfock_builder, SchedulerOpts, DENSITY_SKIPPED_COUNTER, QUARTETS_COUNTER,
+};
 use fock_repro::core::scf::{run_scf, ScfConfig};
 use fock_repro::obs::{EventKind, Recorder};
 
@@ -14,11 +17,13 @@ fn main() {
     let rec = Recorder::enabled();
     let cfg = ScfConfig::builder()
         .fock_builder(gtfock_builder(SchedulerOpts::with_nprocs(4).gtfock()))
+        .incremental(true)
+        .diis(true)
         .recorder(rec.clone())
         .build();
-    let r = run_scf(generators::water(), BasisSetKind::Sto3g, cfg).expect("scf");
+    let r = run_scf(generators::linear_alkane(3), BasisSetKind::Sto3g, cfg).expect("scf");
     println!(
-        "water/STO-3G via FockBuild(gtfock, 4 procs): E = {:.6} Ha in {} iterations (converged: {})",
+        "propane/STO-3G via FockBuild(gtfock, 4 procs): E = {:.6} Ha in {} iterations (converged: {})",
         r.energy, r.iterations, r.converged
     );
 
@@ -47,5 +52,9 @@ fn main() {
     println!(
         "  quartet counter: {}",
         recording.metrics().counter(QUARTETS_COUNTER)
+    );
+    println!(
+        "  density-skipped: {}",
+        recording.metrics().counter(DENSITY_SKIPPED_COUNTER)
     );
 }
