@@ -77,9 +77,5 @@ fn interleaved_problem(molecule: &chem::Molecule, tau: f64) -> FockProblem {
     }
     let permuted = basis.permuted(&perm);
     let screening = Screening::compute(&permuted, tau);
-    FockProblem {
-        basis: permuted,
-        screening,
-        tau,
-    }
+    FockProblem::from_parts(permuted, screening, tau)
 }

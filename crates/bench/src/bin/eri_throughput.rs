@@ -1,0 +1,222 @@
+//! ERI kernel throughput: direct per-quartet kernel vs the precomputed
+//! shell-pair-data path.
+//!
+//! Enumerates exactly the screened, symmetry-unique quartet stream a
+//! sequential Fock build walks (all (M,:|N,:) tasks, Φ-set partners,
+//! `quartet_selected`) and times two passes over it:
+//!
+//! * **ref** — [`EriEngine::quartet_ref`], the pre-pair-data kernel that
+//!   rebuilds every Hermite E table per primitive quartet;
+//! * **pair** — [`EriEngine::quartet_pair`] reading the shared
+//!   [`ShellPairData`] table (built once, timed separately).
+//!
+//! Molecules: one alkane and one graphene flake, each in STO-3G and
+//! cc-pVDZ. Default uses C4H10/C6H6 (seconds); `--full` uses C14H30/C24H12
+//! — the acceptance pair for the pair-data optimization. Results land in
+//! `BENCH_eri.json` in the working directory.
+//!
+//! Usage: `eri_throughput [--full] [--tau <v>]`
+
+use bench::{flag_full, opt_tau};
+use chem::reorder::ShellOrdering;
+use chem::{generators, BasisSetKind};
+use eri::EriEngine;
+use fock_core::tasks::FockProblem;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    molecule: String,
+    basis: &'static str,
+    nshells: usize,
+    nbf: usize,
+    quartets: u64,
+    ref_secs: f64,
+    pair_secs: f64,
+    pair_build_secs: f64,
+    pair_bytes: usize,
+    npairs: usize,
+    max_abs_diff: f64,
+}
+
+/// Run every selected quartet of `prob` through `f`, returning the count.
+fn for_each_quartet(prob: &FockProblem, mut f: impl FnMut(usize, usize, usize, usize)) -> u64 {
+    let n = prob.nshells();
+    let mut count = 0;
+    for m in 0..n {
+        for nn in 0..n {
+            for &p in prob.phi(m) {
+                for &q in prob.phi(nn) {
+                    let (p, q) = (p as usize, q as usize);
+                    if prob.quartet_selected(m, p, nn, q) {
+                        f(m, p, nn, q);
+                        count += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+fn run(molecule: chem::Molecule, kind: BasisSetKind, basis_name: &'static str, tau: f64) -> Row {
+    let name = molecule.formula();
+    eprintln!("  {name}/{basis_name} …");
+    let prob = FockProblem::new(molecule, kind, tau, ShellOrdering::cells_default()).unwrap();
+    let sh = &prob.basis.shells;
+    let mut eng = EriEngine::new();
+    let mut out = Vec::new();
+
+    // Warm scratch buffers and instruction caches on a fraction of the
+    // stream, then time full passes.
+    let mut warm = 0;
+    for_each_quartet(&prob, |m, p, n, q| {
+        if warm < 2000 {
+            eng.quartet_ref(&sh[m], &sh[p], &sh[n], &sh[q], &mut out);
+            warm += 1;
+        }
+    });
+
+    let t0 = Instant::now();
+    let mut sink = 0.0f64;
+    let quartets = for_each_quartet(&prob, |m, p, n, q| {
+        eng.quartet_ref(&sh[m], &sh[p], &sh[n], &sh[q], &mut out);
+        sink += out[0];
+    });
+    let ref_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let pairs = prob.pairs();
+    let pair_build_secs = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let mut sink2 = 0.0f64;
+    for_each_quartet(&prob, |m, p, n, q| {
+        let bra = pairs.view(m, p).expect("phi pair present");
+        let ket = pairs.view(n, q).expect("phi pair present");
+        eng.quartet_pair(&bra, &ket, &mut out);
+        sink2 += out[0];
+    });
+    let pair_secs = t2.elapsed().as_secs_f64();
+
+    // The two passes walk identical streams; their first-element sums agree
+    // to reassociation error — a cheap whole-stream numerical check.
+    let max_abs_diff = (sink - sink2).abs() / (sink.abs().max(1.0));
+
+    Row {
+        molecule: name,
+        basis: basis_name,
+        nshells: prob.nshells(),
+        nbf: prob.nbf(),
+        quartets,
+        ref_secs,
+        pair_secs,
+        pair_build_secs,
+        pair_bytes: pairs.bytes(),
+        npairs: pairs.npairs(),
+        max_abs_diff,
+    }
+}
+
+fn main() {
+    let full = flag_full();
+    let tau = opt_tau();
+    println!("== ERI throughput: direct kernel vs shell-pair data ==");
+    println!(
+        "molecules: {} | τ = {tau:.0e}",
+        if full {
+            "C14H30 + C24H12 (--full)"
+        } else {
+            "C4H10 + C6H6 (pass --full for the acceptance set)"
+        }
+    );
+    println!();
+
+    let (alkane, flake) = if full { (14, 2) } else { (4, 1) };
+    let mut rows = Vec::new();
+    for kind in [BasisSetKind::Sto3g, BasisSetKind::CcPvdz] {
+        let bname = match kind {
+            BasisSetKind::Sto3g => "STO-3G",
+            BasisSetKind::CcPvdz => "cc-pVDZ",
+            _ => unreachable!("bench set is STO-3G + cc-pVDZ"),
+        };
+        rows.push(run(generators::linear_alkane(alkane), kind, bname, tau));
+        rows.push(run(generators::graphene_flake(flake), kind, bname, tau));
+    }
+
+    println!(
+        "{:<10} {:>8} {:>6} {:>5} {:>10} {:>12} {:>12} {:>8} {:>10} {:>9}",
+        "molecule",
+        "basis",
+        "shells",
+        "nbf",
+        "quartets",
+        "ref q/s",
+        "pair q/s",
+        "speedup",
+        "build ms",
+        "pair MiB"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>8} {:>6} {:>5} {:>10} {:>12.0} {:>12.0} {:>7.2}x {:>10.1} {:>9.2}",
+            r.molecule,
+            r.basis,
+            r.nshells,
+            r.nbf,
+            r.quartets,
+            r.quartets as f64 / r.ref_secs,
+            r.quartets as f64 / r.pair_secs,
+            r.ref_secs / r.pair_secs,
+            r.pair_build_secs * 1e3,
+            r.pair_bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"eri_throughput\",");
+    let _ = writeln!(json, "  \"tau\": {tau:e},");
+    let _ = writeln!(json, "  \"full\": {full},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"molecule\": \"{}\",", r.molecule);
+        let _ = writeln!(json, "      \"basis\": \"{}\",", r.basis);
+        let _ = writeln!(json, "      \"nshells\": {},", r.nshells);
+        let _ = writeln!(json, "      \"nbf\": {},", r.nbf);
+        let _ = writeln!(json, "      \"quartets\": {},", r.quartets);
+        let _ = writeln!(json, "      \"ref_secs\": {:.6},", r.ref_secs);
+        let _ = writeln!(json, "      \"pair_secs\": {:.6},", r.pair_secs);
+        let _ = writeln!(
+            json,
+            "      \"ref_quartets_per_sec\": {:.0},",
+            r.quartets as f64 / r.ref_secs
+        );
+        let _ = writeln!(
+            json,
+            "      \"pair_quartets_per_sec\": {:.0},",
+            r.quartets as f64 / r.pair_secs
+        );
+        let _ = writeln!(json, "      \"speedup\": {:.3},", r.ref_secs / r.pair_secs);
+        let _ = writeln!(
+            json,
+            "      \"pairdata_build_secs\": {:.6},",
+            r.pair_build_secs
+        );
+        let _ = writeln!(json, "      \"pairdata_bytes\": {},", r.pair_bytes);
+        let _ = writeln!(json, "      \"pairdata_npairs\": {},", r.npairs);
+        let _ = writeln!(json, "      \"stream_rel_diff\": {:e}", r.max_abs_diff);
+        let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    let path = "BENCH_eri.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -8,18 +8,21 @@
 //! baseline's overhead overtakes its computation time at large core
 //! counts on the lighter problems.
 
-use bench::{banner, core_counts, flag_full, opt_tau, prepare_all};
+use bench::{banner, core_counts, flag_full, opt_tau, opt_trace, prepare_all};
 use distrt::MachineParams;
 use fock_core::sim_exec::{GtfockSimModel, NwchemSimModel};
+use obs::Recorder;
 
 fn main() {
     let full = flag_full();
     let tau = opt_tau();
+    let trace = opt_trace();
     banner("Figure 2: T_comp vs parallel overhead T_ov", full);
     let machine = MachineParams::lonestar();
     let cores = core_counts(full);
 
-    for w in prepare_all(full, tau) {
+    let workloads = prepare_all(full, tau);
+    for w in &workloads {
         eprintln!("simulating {} …", w.name);
         let gt = GtfockSimModel::new(&w.prob, &w.cost);
         let nw = NwchemSimModel::new(&w.prob, &w.cost);
@@ -56,4 +59,28 @@ fn main() {
     println!("expected shape (paper): comparable T_comp; GTFock's T_ov about an order of");
     println!("magnitude lower; baseline overhead approaches/exceeds its T_comp at scale on");
     println!("the alkanes and the smaller flake.");
+
+    if let Some(path) = trace {
+        // The figure's story is the baseline's overhead, so the trace dumps
+        // the NWChem-style model's per-process timeline (queue accesses,
+        // task start/end, block traffic) at 48 cores — same plumbing as
+        // table8.
+        let rec = Recorder::enabled();
+        let cores = 48;
+        let w = &workloads[0];
+        let nw = NwchemSimModel::new(&w.prob, &w.cost);
+        nw.simulate_rec(machine, cores, 5, &rec);
+        let recording = rec.recording().expect("recorder was enabled");
+        if let Err(e) = std::fs::write(&path, recording.to_json()) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!();
+        println!(
+            "trace: {} events across {} processes ({} NWChem-style @ {cores} cores) -> {path}",
+            recording.total_events(),
+            recording.nworkers(),
+            w.name
+        );
+    }
 }

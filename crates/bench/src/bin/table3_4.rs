@@ -7,13 +7,15 @@
 //! because its single-node path has no prefetch overhead), scaled so that
 //! value is 12.
 
-use bench::{banner, core_counts, flag_full, opt_tau, prepare_all};
+use bench::{banner, core_counts, flag_full, opt_tau, opt_trace, prepare_all};
 use distrt::MachineParams;
-use fock_core::sim_exec::{GtfockSimModel, NwchemSimModel};
+use fock_core::sim_exec::{GtfockSimModel, NwchemSimModel, StealConfig};
+use obs::Recorder;
 
 fn main() {
     let full = flag_full();
     let tau = opt_tau();
+    let trace = opt_trace();
     banner("Tables III & IV: Fock construction time and speedup", full);
     let machine = MachineParams::lonestar();
     let cores = core_counts(full);
@@ -71,4 +73,27 @@ fn main() {
     println!();
     println!("expected shape (paper): the baseline is competitive or faster at small core");
     println!("counts; GTFock scales further and wins at the largest core counts.");
+
+    if let Some(path) = trace {
+        // Re-run the first workload's GTFock model at 48 cores with
+        // telemetry on and dump the per-process timeline as version-1 obs
+        // JSON (same plumbing as table8).
+        let rec = Recorder::enabled();
+        let cores = 48;
+        let w = &workloads[0];
+        let gt = GtfockSimModel::new(&w.prob, &w.cost);
+        gt.simulate_opts_rec(machine, cores, StealConfig::paper(), &rec);
+        let recording = rec.recording().expect("recorder was enabled");
+        if let Err(e) = std::fs::write(&path, recording.to_json()) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!();
+        println!(
+            "trace: {} events across {} processes ({} GTFock @ {cores} cores) -> {path}",
+            recording.total_events(),
+            recording.nworkers(),
+            w.name
+        );
+    }
 }

@@ -45,6 +45,26 @@ pub(crate) fn record_dmax(rec: &Recorder, dmax: f64) {
         .record((dmax.max(0.0) * 1e9) as u64);
 }
 
+/// Counter of heap bytes held by the shared [`eri::ShellPairData`] table
+/// (pair tables + index), recorded once when a builder first touches it.
+pub const PAIRDATA_BYTES_COUNTER: &str = "eri.pairdata_bytes";
+
+/// Histogram of per-quartet ERI kernel wall time in nanoseconds, fed by
+/// every [`eri::EriEngine`] a builder runs with tracing enabled.
+pub const QUARTET_NS_HISTOGRAM: &str = "eri.quartet_ns";
+
+/// Record the pair table's size into [`PAIRDATA_BYTES_COUNTER`]. The
+/// counter is monotonic, so only the first call per recorder registers
+/// (the table is built once per problem and reused across iterations).
+pub(crate) fn record_pairdata(rec: &Recorder, pairs: &eri::ShellPairData) {
+    if rec.is_enabled() {
+        let c = rec.counter(PAIRDATA_BYTES_COUNTER);
+        if c.get() == 0 {
+            c.add(pairs.bytes() as u64);
+        }
+    }
+}
+
 /// Per-process measurements of one Fock build, shared by all builders.
 /// Fields irrelevant to a given algorithm stay zero (e.g. `steals` for the
 /// centralized baseline, `queue_accesses` for GTFock).

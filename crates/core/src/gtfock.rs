@@ -14,7 +14,10 @@
 //! sequential reference for any grid shape and any stealing schedule —
 //! the correctness tests exercise exactly that.
 
-use crate::build::{record_dmax, BuildReport, DENSITY_SKIPPED_COUNTER, QUARTETS_COUNTER};
+use crate::build::{
+    record_dmax, record_pairdata, BuildReport, DENSITY_SKIPPED_COUNTER, QUARTETS_COUNTER,
+    QUARTET_NS_HISTOGRAM,
+};
 use crate::localbuf::{LocalBuffers, LocalSink, ShellDims};
 use crate::partition::StaticPartition;
 use crate::sink::do_task;
@@ -79,6 +82,8 @@ pub fn build_fock_gtfock_rec(
     // worker: the weighted quartet test drops work ΔD cannot reach.
     let dn = DensityNorms::compute(&prob.basis, d_dense);
     record_dmax(rec, dn.max);
+    // Force the shared pair table before the workers race to it.
+    record_pairdata(rec, prob.pairs());
 
     let mut ga_d = GlobalArray::from_dense(cfg.grid, nbf, nbf, d_dense);
     let mut ga_f = GlobalArray::zeros(cfg.grid, nbf, nbf);
@@ -127,6 +132,7 @@ pub fn build_fock_gtfock_rec(
                 let mut density_skipped = 0u64;
                 let mut steals = 0u64;
                 let mut eng = EriEngine::new();
+                eng.set_quartet_histogram(rec.histogram(QUARTET_NS_HISTOGRAM));
                 let mut scratch = Vec::new();
 
                 // Buffers keyed by the rank whose region they cover.

@@ -41,7 +41,7 @@ pub mod tasks;
 
 pub use build::{
     gtfock_builder, nwchem_builder, seq_builder, BuildOutcome, BuildReport, FockBuild,
-    SchedulerOpts, QUARTETS_COUNTER,
+    SchedulerOpts, PAIRDATA_BYTES_COUNTER, QUARTETS_COUNTER, QUARTET_NS_HISTOGRAM,
 };
 pub use gtfock::{build_fock_gtfock, build_fock_gtfock_rec, GtfockConfig, GtfockReport};
 pub use nwchem::{build_fock_nwchem, build_fock_nwchem_rec, NwchemConfig, NwchemReport};

@@ -10,7 +10,10 @@
 //! the per-quartet communication the paper contrasts with GTFock's bulk
 //! prefetch.
 
-use crate::build::{record_dmax, BuildReport, DENSITY_SKIPPED_COUNTER, QUARTETS_COUNTER};
+use crate::build::{
+    record_dmax, record_pairdata, BuildReport, DENSITY_SKIPPED_COUNTER, QUARTETS_COUNTER,
+    QUARTET_NS_HISTOGRAM,
+};
 use crate::sink::{apply_quartet, FockSink, TaskCounts, QUARTET_PERMS};
 use crate::tasks::FockProblem;
 use distrt::{GlobalArray, ProcessGrid};
@@ -264,6 +267,8 @@ pub fn build_fock_nwchem_rec(
     // sequential and GTFock paths, so all builders agree quartet-for-quartet.
     let dn = DensityNorms::compute(&prob.basis, d_dense);
     record_dmax(rec, dn.max);
+    // Force the shared pair table before the workers race to it.
+    record_pairdata(rec, prob.pairs());
     let mut atom_of_bf = vec![0u32; nbf];
     for (a, r) in atoms.bfs.iter().enumerate() {
         for i in r.clone() {
@@ -305,6 +310,7 @@ pub fn build_fock_nwchem_rec(
                 let mut quartets = 0u64;
                 let mut density_skipped = 0u64;
                 let mut eng = EriEngine::new();
+                eng.set_quartet_histogram(rec.histogram(QUARTET_NS_HISTOGRAM));
                 let mut scratch = Vec::new();
                 let mut my_task = {
                     queue_accesses.fetch_add(1, Ordering::Relaxed);
@@ -443,12 +449,14 @@ fn do_atom_quartet(
     let t0 = Instant::now();
     let mut counts = TaskCounts::default();
     let at = [i as u32, j as u32, k as u32, l as u32];
-    let sh = &prob.basis.shells;
+    let pd = prob.pairs();
     for m in atoms.shells[i].clone() {
         for n in atoms.shells[j].clone() {
             if prob.screening.pair(m, n) * prob.screening.max_q <= prob.tau {
                 continue;
             }
+            // (MN) > τ/max_q ⇒ the pair is on the screening survivor list.
+            let bra = pd.view(m, n).expect("surviving pair has pair data");
             for p in atoms.shells[k].clone() {
                 for q in atoms.shells[l].clone() {
                     if prob.screening.pair(m, n) * prob.screening.pair(p, q) <= prob.tau {
@@ -465,7 +473,8 @@ fn do_atom_quartet(
                         counts.skipped_density += 1;
                         continue;
                     }
-                    eng.quartet(&sh[m], &sh[n], &sh[p], &sh[q], scratch);
+                    let ket = pd.view(p, q).expect("surviving pair has pair data");
+                    eng.quartet_pair(&bra, &ket, scratch);
                     apply_quartet(&mut cache, prob, [m, n, p, q], scratch);
                     counts.computed += 1;
                 }

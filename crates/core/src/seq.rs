@@ -12,7 +12,8 @@
 //!   arithmetic (and to ~1e-12 in floating point).
 
 use crate::build::{
-    record_dmax, BuildOutcome, BuildReport, DENSITY_SKIPPED_COUNTER, QUARTETS_COUNTER,
+    record_dmax, record_pairdata, BuildOutcome, BuildReport, DENSITY_SKIPPED_COUNTER,
+    QUARTETS_COUNTER, QUARTET_NS_HISTOGRAM,
 };
 use crate::sink::{do_task, DenseSink, FockSink};
 use crate::tasks::FockProblem;
@@ -95,8 +96,10 @@ pub fn build_g_seq_rec(prob: &FockProblem, d: &[f64], rec: &Recorder) -> BuildOu
     assert_eq!(d.len(), nbf * nbf);
     let dn = DensityNorms::compute(&prob.basis, d);
     record_dmax(rec, dn.max);
+    record_pairdata(rec, prob.pairs());
     let mut f = vec![0.0; nbf * nbf];
     let mut eng = EriEngine::new();
+    eng.set_quartet_histogram(rec.histogram(QUARTET_NS_HISTOGRAM));
     let mut scratch = Vec::new();
     let mut quartets = 0;
     let mut skipped = 0;

@@ -155,8 +155,11 @@ pub fn do_task<S: FockSink>(
     n: usize,
 ) -> TaskCounts {
     let mut counts = TaskCounts::default();
+    let pairs = prob.pairs();
     for &p in prob.phi(m) {
         let p = p as usize;
+        // Φ(M) membership implies the (M,P) pair survived screening.
+        let bra = pairs.view(m, p).expect("phi pair has pair data");
         for &q in prob.phi(n) {
             let q = q as usize;
             if !prob.quartet_selected(m, p, n, q) {
@@ -166,8 +169,8 @@ pub fn do_task<S: FockSink>(
                 counts.skipped_density += 1;
                 continue;
             }
-            let sh = &prob.basis.shells;
-            eng.quartet(&sh[m], &sh[p], &sh[n], &sh[q], scratch);
+            let ket = pairs.view(n, q).expect("phi pair has pair data");
+            eng.quartet_pair(&bra, &ket, scratch);
             apply_quartet(sink, prob, [m, p, n, q], scratch);
             counts.computed += 1;
         }

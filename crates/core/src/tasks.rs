@@ -10,7 +10,8 @@ use chem::molecule::Molecule;
 use chem::reorder::{reorder, ShellOrdering};
 use chem::shells::BasisInstance;
 use chem::BasisSetKind;
-use eri::{DensityNorms, Screening};
+use eri::{DensityNorms, Screening, ShellPairData};
+use std::sync::OnceLock;
 
 /// The paper's SymmetryCheck predicate: for M ≠ N exactly one of
 /// `symmetry_check(M, N)`, `symmetry_check(N, M)` holds (chosen by index
@@ -47,6 +48,10 @@ pub struct FockProblem {
     pub screening: Screening,
     /// Screening tolerance τ used to build `screening`.
     pub tau: f64,
+    /// Precomputed per-pair ERI data (combined exponents, product centres,
+    /// Hermite E tables) for every significant pair — built lazily on
+    /// first use, then shared read-only by all builders and iterations.
+    pairs: OnceLock<ShellPairData>,
 }
 
 impl FockProblem {
@@ -62,11 +67,26 @@ impl FockProblem {
         let basis = BasisInstance::new(molecule, kind)?;
         let basis = reorder(&basis, ordering);
         let screening = Screening::compute(&basis, tau);
-        Ok(FockProblem {
+        Ok(FockProblem::from_parts(basis, screening, tau))
+    }
+
+    /// Assemble a problem from an already-built basis and screening (the
+    /// ablation drivers construct screenings with non-standard orderings).
+    pub fn from_parts(basis: BasisInstance, screening: Screening, tau: f64) -> FockProblem {
+        FockProblem {
             basis,
             screening,
             tau,
-        })
+            pairs: OnceLock::new(),
+        }
+    }
+
+    /// The shared pair-data table, built on first call (rows in parallel)
+    /// and cached for the lifetime of the problem — every SCF iteration and
+    /// every builder reuses the same tables.
+    pub fn pairs(&self) -> &ShellPairData {
+        self.pairs
+            .get_or_init(|| ShellPairData::build(&self.basis, &self.screening))
     }
 
     #[inline]

@@ -9,6 +9,7 @@
 //! complement: compute every unique significant quartet once, then serve
 //! arbitrary shell quartets by permutational symmetry.
 
+use crate::pairdata::ShellPairData;
 use crate::screening::Screening;
 use crate::teints::EriEngine;
 use chem::shells::BasisInstance;
@@ -61,6 +62,9 @@ impl EriCache {
         let mut buf = Vec::new();
         let mut blocks = HashMap::new();
         let mut bytes = 0usize;
+        // Shared pair tables over screening's survivor list; a caller's
+        // `tau` looser than the screening's own keeps every pair present.
+        let pd = ShellPairData::build(basis, screening);
         for m in 0..n {
             for nn in 0..=m {
                 if screening.pair(m, nn) * screening.max_q <= tau {
@@ -72,13 +76,22 @@ impl EriCache {
                         if screening.pair(m, nn) * screening.pair(p, q) <= tau {
                             continue;
                         }
-                        eng.quartet(
-                            &basis.shells[m],
-                            &basis.shells[nn],
-                            &basis.shells[p],
-                            &basis.shells[q],
-                            &mut buf,
-                        );
+                        match (pd.view(m, nn), pd.view(p, q)) {
+                            (Some(bra), Some(ket)) => {
+                                eng.quartet_pair(&bra, &ket, &mut buf);
+                            }
+                            // A caller tau tighter than the screening's can
+                            // admit pairs off the survivor list.
+                            _ => {
+                                eng.quartet(
+                                    &basis.shells[m],
+                                    &basis.shells[nn],
+                                    &basis.shells[p],
+                                    &basis.shells[q],
+                                    &mut buf,
+                                );
+                            }
+                        }
                         bytes += buf.len() * std::mem::size_of::<f64>();
                         blocks.insert(
                             (m as u32, nn as u32, p as u32, q as u32),
@@ -137,17 +150,24 @@ impl EriCache {
             self.nfuncs[canon[2]],
             self.nfuncs[canon[3]],
         ];
+        // Precompute the canonical-block stride of each *request* axis:
+        // cflat = Σ_s req_idx[perm[s]]·cstride[s] = Σ_k req_idx[k]·w[k],
+        // so the gather costs one multiply-add per loop level instead of
+        // re-deriving the 4-index polynomial per element.
+        let cstride = [cd[1] * cd[2] * cd[3], cd[2] * cd[3], cd[3], 1];
+        let mut w = [0usize; 4];
+        for s in 0..4 {
+            w[perm[s]] += cstride[s];
+        }
         let mut flat = 0usize;
         for i0 in 0..dims[0] {
+            let c0 = i0 * w[0];
             for i1 in 0..dims[1] {
+                let c1 = c0 + i1 * w[1];
                 for i2 in 0..dims[2] {
+                    let c2 = c1 + i2 * w[2];
                     for i3 in 0..dims[3] {
-                        let req_idx = [i0, i1, i2, i3];
-                        let cflat = ((req_idx[perm[0]] * cd[1] + req_idx[perm[1]]) * cd[2]
-                            + req_idx[perm[2]])
-                            * cd[3]
-                            + req_idx[perm[3]];
-                        out[flat] = block[cflat];
+                        out[flat] = block[c2 + i3 * w[3]];
                         flat += 1;
                     }
                 }

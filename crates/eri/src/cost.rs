@@ -7,6 +7,7 @@
 //! depths — so we time one representative quartet per class with the real
 //! McMurchie–Davidson engine and tabulate seconds per class.
 
+use crate::pairdata::ShellPair;
 use crate::teints::EriEngine;
 use chem::shells::{BasisInstance, Shell};
 use std::time::Instant;
@@ -82,25 +83,17 @@ impl CostModel {
                         if (c, d) < (a, b) {
                             continue; // fill by bra/ket symmetry below
                         }
-                        // Warm once, then take the minimum over repetitions — the
-                        // estimator least sensitive to scheduler noise.
-                        eng.quartet(
-                            &rep_shell[a],
-                            &rep_shell[b],
-                            &rep_shell[c],
-                            &rep_shell[d],
-                            &mut out,
-                        );
+                        // Time the production path — pair data prebuilt, as
+                        // the builders run it. Warm once, then take the
+                        // minimum over repetitions — the estimator least
+                        // sensitive to scheduler noise.
+                        let bra = ShellPair::new(&rep_shell[a], &rep_shell[b]);
+                        let ket = ShellPair::new(&rep_shell[c], &rep_shell[d]);
+                        eng.quartet_pair(&bra.view(false), &ket.view(false), &mut out);
                         let mut secs = f64::INFINITY;
                         for _ in 0..reps {
                             let start = Instant::now();
-                            eng.quartet(
-                                &rep_shell[a],
-                                &rep_shell[b],
-                                &rep_shell[c],
-                                &rep_shell[d],
-                                &mut out,
-                            );
+                            eng.quartet_pair(&bra.view(false), &ket.view(false), &mut out);
                             secs = secs.min(start.elapsed().as_secs_f64());
                         }
                         let n = (types[a].nfuncs()

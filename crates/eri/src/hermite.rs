@@ -5,7 +5,7 @@
 //! * [`hermite_r`] — the auxiliary integrals R⁰_{tuv} over Hermite Gaussians
 //!   built from the Boys function.
 
-use crate::boys::boys;
+use crate::boys::{boys, boys_fast};
 use chem::Vec3;
 
 /// Largest left angular momentum (d shells).
@@ -94,6 +94,16 @@ impl E1d {
         let k = self.idx(i, j, t);
         self.data[k] = v;
     }
+
+    /// The packed coefficient block: the first
+    /// (la+1)(lb+1)(la+lb+1) entries of the inline array, laid out exactly
+    /// as [`Self::idx`] addresses them — what
+    /// [`crate::pairdata::ShellPair`] copies into its per-primitive-pair
+    /// tables.
+    #[inline]
+    pub fn packed(&self) -> &[f64] {
+        &self.data[..(self.la + 1) * (self.lb + 1) * (self.la + self.lb + 1)]
+    }
 }
 
 /// Reusable workspace for [`hermite_r`] (avoids per-primitive-quartet heap
@@ -123,7 +133,7 @@ impl RTable<'_> {
 }
 
 /// Build R⁰_{tuv} (t+u+v ≤ l) into `scratch`, returning a view of the
-/// n = 0 table.
+/// n = 0 table. Uses the tabulated Boys fast path.
 pub fn hermite_r<'a>(
     l: usize,
     alpha: f64,
@@ -131,16 +141,54 @@ pub fn hermite_r<'a>(
     boys_buf: &mut Vec<f64>,
     scratch: &'a mut RScratch,
 ) -> RTable<'a> {
+    hermite_r_impl(l, alpha, pq, boys_buf, scratch, false)
+}
+
+/// [`hermite_r`] evaluating the Boys function by the reference series —
+/// the pre-pair-data kernel retained as `EriEngine::quartet_ref` calls
+/// this so throughput baselines measure the original code path.
+pub fn hermite_r_ref<'a>(
+    l: usize,
+    alpha: f64,
+    pq: Vec3,
+    boys_buf: &mut Vec<f64>,
+    scratch: &'a mut RScratch,
+) -> RTable<'a> {
+    hermite_r_impl(l, alpha, pq, boys_buf, scratch, true)
+}
+
+#[inline]
+fn hermite_r_impl<'a>(
+    l: usize,
+    alpha: f64,
+    pq: Vec3,
+    boys_buf: &mut Vec<f64>,
+    scratch: &'a mut RScratch,
+    reference: bool,
+) -> RTable<'a> {
     let dim = l + 1;
     let t_arg = alpha * pq.norm2();
     boys_buf.clear();
     boys_buf.resize(l + 1, 0.0);
-    boys(l, t_arg, boys_buf);
+    if reference {
+        boys(l, t_arg, boys_buf);
+    } else {
+        boys_fast(l, t_arg, boys_buf);
+    }
 
     // scratch.work[n·size ..] holds R^n_{tuv} for t+u+v ≤ l − n.
     let size = dim * dim * dim;
-    scratch.work.clear();
-    scratch.work.resize((l + 1) * size, 0.0);
+    if reference {
+        scratch.work.clear();
+        scratch.work.resize((l + 1) * size, 0.0);
+    } else if scratch.work.len() < (l + 1) * size {
+        // Fast path: grow only. Every triangle entry (t+u+v ≤ l−n, the
+        // only positions the recursion and all callers read) is rewritten
+        // below, so stale off-triangle values from a previous, larger call
+        // are harmless and re-zeroing (l+1)⁴ doubles per primitive quartet
+        // is pure waste.
+        scratch.work.resize((l + 1) * size, 0.0);
+    }
     let r = &mut scratch.work;
     let idx = |t: usize, u: usize, v: usize| (t * dim + u) * dim + v;
     let mut pref = 1.0;
@@ -184,6 +232,27 @@ pub fn hermite_r<'a>(
     RTable {
         dim,
         data: &scratch.work[..size],
+    }
+}
+
+/// [`cart_components`] for the supported momenta as static slices — the
+/// ERI kernel's per-quartet lookups must not allocate.
+pub fn cart_components_static(l: u8) -> &'static [(u8, u8, u8)] {
+    const S: [(u8, u8, u8); 1] = [(0, 0, 0)];
+    const P: [(u8, u8, u8); 3] = [(1, 0, 0), (0, 1, 0), (0, 0, 1)];
+    const D: [(u8, u8, u8); 6] = [
+        (2, 0, 0),
+        (1, 1, 0),
+        (1, 0, 1),
+        (0, 2, 0),
+        (0, 1, 1),
+        (0, 0, 2),
+    ];
+    match l {
+        0 => &S,
+        1 => &P,
+        2 => &D,
+        _ => panic!("angular momentum l={l} not supported (s, p, d only)"),
     }
 }
 
@@ -271,6 +340,13 @@ mod tests {
             "{} vs {want}",
             r.get(1, 0, 0)
         );
+    }
+
+    #[test]
+    fn static_components_match_dynamic() {
+        for l in 0..=2u8 {
+            assert_eq!(cart_components_static(l), cart_components(l).as_slice());
+        }
     }
 
     #[test]

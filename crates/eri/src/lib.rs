@@ -27,10 +27,12 @@ pub mod cache;
 pub mod cost;
 pub mod hermite;
 pub mod oneints;
+pub mod pairdata;
 pub mod screening;
 pub mod spherical;
 pub mod teints;
 
 pub use cost::CostModel;
+pub use pairdata::{PairView, PrimPair, ShellPair, ShellPairData};
 pub use screening::{DensityNorms, Screening};
 pub use teints::EriEngine;

@@ -82,6 +82,44 @@ pub fn transform_axis(data: Vec<f64>, outer: usize, inner: usize, l: u8) -> Vec<
     out
 }
 
+/// [`sph_matrix`] for d shells, built once — the hot transform path must
+/// not allocate per quartet.
+fn sph_matrix_cached(l: u8) -> &'static [Vec<f64>] {
+    use std::sync::OnceLock;
+    static D: OnceLock<Vec<Vec<f64>>> = OnceLock::new();
+    assert_eq!(l, 2, "only d shells need a non-identity transform");
+    D.get_or_init(|| sph_matrix(2)).as_slice()
+}
+
+/// [`transform_axis`] writing into a caller-provided buffer (cleared and
+/// resized — no allocation once `out`'s capacity has warmed up). Only
+/// meaningful for l ≥ 2; the l < 2 identity case is the caller's skip.
+pub fn transform_axis_into(data: &[f64], outer: usize, inner: usize, l: u8, out: &mut Vec<f64>) {
+    debug_assert!(l >= 2, "identity axes should be skipped by the caller");
+    let nc = ncart(l);
+    let ns = nsph(l);
+    debug_assert_eq!(data.len(), outer * nc * inner);
+    let m = sph_matrix_cached(l);
+    out.clear();
+    out.resize(outer * ns * inner, 0.0);
+    for o in 0..outer {
+        let src_base = o * nc * inner;
+        let dst_base = o * ns * inner;
+        for (mi, row) in m.iter().enumerate() {
+            let dst = dst_base + mi * inner;
+            for (ci, &coef) in row.iter().enumerate() {
+                if coef == 0.0 {
+                    continue;
+                }
+                let src = src_base + ci * inner;
+                for k in 0..inner {
+                    out[dst + k] += coef * data[src + k];
+                }
+            }
+        }
+    }
+}
+
 /// Transform all four axes of a Cartesian shell-quartet block
 /// `[ncart(a)][ncart(b)][ncart(c)][ncart(d)]` to spherical.
 pub fn transform_quartet(data: Vec<f64>, ls: [u8; 4]) -> Vec<f64> {
@@ -176,5 +214,14 @@ mod tests {
     #[should_panic]
     fn f_shells_unsupported() {
         sph_matrix(3);
+    }
+
+    #[test]
+    fn into_variant_matches_consuming_transform() {
+        let data: Vec<f64> = (0..2 * 6 * 3).map(|k| (k as f64) * 0.31 - 2.0).collect();
+        let want = transform_axis(data.clone(), 2, 3, 2);
+        let mut out = Vec::new();
+        transform_axis_into(&data, 2, 3, 2, &mut out);
+        assert_eq!(out, want);
     }
 }

@@ -1,0 +1,82 @@
+//! The ERI hot path must not allocate: after warm-up, repeated calls to
+//! `EriEngine::quartet`, `quartet_pair` and `schwarz_pair_value` reuse
+//! engine scratch only. A counting global allocator makes any regression
+//! (a fresh `Vec` in an inner loop, a buffer grown per call) an immediate
+//! test failure rather than a silent throughput loss.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn hot_paths_do_not_allocate_after_warmup() {
+    use chem::shells::BasisInstance;
+    use chem::{generators, BasisSetKind};
+    use eri::{EriEngine, Screening, ShellPairData};
+
+    // cc-pVDZ methane exercises every angular class up to d and several
+    // contraction depths.
+    let basis = BasisInstance::new(generators::methane(), BasisSetKind::CcPvdz).unwrap();
+    let screening = Screening::compute(&basis, 1e-12);
+    let pairs = ShellPairData::build(&basis, &screening);
+    let sh = &basis.shells;
+    let n = sh.len();
+
+    let mut eng = EriEngine::new();
+    let mut out = Vec::new();
+
+    let sweep = |eng: &mut EriEngine, out: &mut Vec<f64>| {
+        let mut sink = 0.0;
+        for m in 0..n {
+            for p in 0..n {
+                if let (Some(bra), Some(ket)) = (pairs.view(m, p), pairs.view(p, m)) {
+                    eng.quartet_pair(&bra, &ket, out);
+                    sink += out[0];
+                }
+                eng.quartet(&sh[m], &sh[p], &sh[p], &sh[m], out);
+                sink += out[0];
+                sink += eng.schwarz_pair_value(&sh[m], &sh[p]);
+            }
+        }
+        sink
+    };
+
+    // Warm-up: grows every scratch buffer to its high-water mark.
+    let warm = sweep(&mut eng, &mut out);
+
+    let before = alloc_count();
+    let hot = sweep(&mut eng, &mut out);
+    let after = alloc_count();
+
+    assert_eq!(
+        after - before,
+        0,
+        "hot ERI paths allocated {} times after warm-up",
+        after - before
+    );
+    assert_eq!(warm, hot, "warm and hot sweeps must agree exactly");
+}

@@ -82,6 +82,13 @@ impl Histogram {
         Histogram(Some(cells))
     }
 
+    /// Whether samples are actually being collected — lets hot paths skip
+    /// the work of producing a sample (e.g. clock reads) when disabled.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
     #[inline]
     pub fn record(&self, v: u64) {
         if let Some(cells) = &self.0 {

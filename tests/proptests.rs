@@ -4,17 +4,18 @@
 //! purification properties, and ERI permutational symmetry on randomized
 //! shells.
 
-use fock_repro::chem::shells::Shell;
-use fock_repro::chem::Vec3;
+use fock_repro::chem::shells::{BasisInstance, Shell};
+use fock_repro::chem::{generators, BasisSetKind, Vec3};
 use fock_repro::core::tasks::{symmetry_check, unique_quartet};
 use fock_repro::distrt::{block_range, GlobalArray, ProcessGrid};
 use fock_repro::eri::boys::boys;
-use fock_repro::eri::EriEngine;
+use fock_repro::eri::{EriEngine, Screening, ShellPairData};
 use fock_repro::linalg::eig::sym_eig;
 use fock_repro::linalg::gemm::gemm;
 use fock_repro::linalg::purify::purify_canonical;
 use fock_repro::linalg::Mat;
 use proptest::prelude::*;
+use std::sync::OnceLock;
 
 fn normalized_s_shell(center: (f64, f64, f64), exp: f64) -> Shell {
     let n = (2.0 * exp / std::f64::consts::PI).powf(0.75);
@@ -26,6 +27,28 @@ fn normalized_s_shell(center: (f64, f64, f64), exp: f64) -> Shell {
         coefs: vec![n].into(),
         bf_offset: 0,
     }
+}
+
+/// Real bases (s/p/d shells, contraction depths 1–9) for the pair-data
+/// equivalence property, with shared pair tables — built once.
+fn pair_test_bases() -> &'static Vec<(BasisInstance, ShellPairData)> {
+    static BASES: OnceLock<Vec<(BasisInstance, ShellPairData)>> = OnceLock::new();
+    BASES.get_or_init(|| {
+        let mut out = Vec::new();
+        for kind in [BasisSetKind::Sto3g, BasisSetKind::CcPvdz] {
+            for mol in [
+                generators::water(),
+                generators::methane(),
+                generators::linear_alkane(4),
+            ] {
+                let b = BasisInstance::new(mol, kind).unwrap();
+                let s = Screening::compute(&b, 1e-14);
+                let pd = ShellPairData::build(&b, &s);
+                out.push((b, pd));
+            }
+        }
+        out
+    })
 }
 
 proptest! {
@@ -184,5 +207,52 @@ proptest! {
         // Schwarz positivity: (ab|ab) >= 0.
         let diag = val([&a, &b, &a, &b]);
         prop_assert!(diag >= -1e-14);
+    }
+
+    #[test]
+    fn pair_data_path_matches_direct_kernel(
+        which in 0usize..6,
+        s1 in 0u32..1_000_000,
+        s2 in 0u32..1_000_000,
+        s3 in 0u32..1_000_000,
+        s4 in 0u32..1_000_000,
+    ) {
+        // Every integral of every quartet (random shells from real
+        // molecules, d shells and deep contractions included) must agree
+        // between the direct kernel and the pair-data paths to 1e-12.
+        let (basis, pd) = &pair_test_bases()[which];
+        let sh = &basis.shells;
+        let n = sh.len();
+        let (m, p, nn, q) = (
+            s1 as usize % n,
+            s2 as usize % n,
+            s3 as usize % n,
+            s4 as usize % n,
+        );
+        let mut eng = EriEngine::new();
+        let (mut oref, mut opair) = (Vec::new(), Vec::new());
+        let nref = eng.quartet_ref(&sh[m], &sh[p], &sh[nn], &sh[q], &mut oref);
+
+        // Shell-based wrapper (rebuilds pair scratch inside the engine).
+        let nwrap = eng.quartet(&sh[m], &sh[p], &sh[nn], &sh[q], &mut opair);
+        prop_assert_eq!(nref, nwrap);
+        for (k, (&r, &w)) in oref.iter().zip(opair.iter()).enumerate() {
+            prop_assert!(
+                (r - w).abs() < 1e-12 * (1.0 + r.abs()),
+                "wrapper integral {k}: {r} vs {w}"
+            );
+        }
+
+        // Shared-table path, exercising stored/swapped orientations.
+        if let (Some(bra), Some(ket)) = (pd.view(m, p), pd.view(nn, q)) {
+            let npair = eng.quartet_pair(&bra, &ket, &mut opair);
+            prop_assert_eq!(nref, npair);
+            for (k, (&r, &w)) in oref.iter().zip(opair.iter()).enumerate() {
+                prop_assert!(
+                    (r - w).abs() < 1e-12 * (1.0 + r.abs()),
+                    "pair-table integral {k}: {r} vs {w}"
+                );
+            }
+        }
     }
 }

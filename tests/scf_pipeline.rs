@@ -11,6 +11,54 @@ use fock_repro::core::scf::{run_scf, DensityMethod, ScfConfig};
 use fock_repro::distrt::ProcessGrid;
 
 #[test]
+fn converged_energies_match_pre_pairdata_kernel() {
+    // References captured with the direct (pre-shell-pair-data) ERI kernel
+    // at these exact settings; the pair-data path (precomputed E tables,
+    // tabulated Boys, primitive screening) must reproduce them to 1e-10 Ha.
+    for (name, mol, kind, want) in [
+        (
+            "water/sto3g",
+            generators::water(),
+            BasisSetKind::Sto3g,
+            -74.96292827088706,
+        ),
+        (
+            "methane/sto3g",
+            generators::methane(),
+            BasisSetKind::Sto3g,
+            -39.72670004948836,
+        ),
+        (
+            "water/ccpvdz",
+            generators::water(),
+            BasisSetKind::CcPvdz,
+            -76.02679869744802,
+        ),
+    ] {
+        let r = run_scf(
+            mol,
+            kind,
+            ScfConfig::builder()
+                .diis(true)
+                .tau(1e-13)
+                .e_tol(1e-11)
+                .d_tol(1e-9)
+                .max_iter(60)
+                .ordering(ShellOrdering::Natural)
+                .build(),
+        )
+        .unwrap();
+        assert!(r.converged, "{name} did not converge");
+        assert!(
+            (r.energy - want).abs() < 1e-10,
+            "{name}: E = {:.14}, want {want:.14} (diff {:.1e})",
+            r.energy,
+            (r.energy - want).abs()
+        );
+    }
+}
+
+#[test]
 fn methane_sto3g_reference_energy() {
     // RHF/STO-3G methane at r(CH) = 1.09 Å ≈ −39.72 Ha.
     let r = run_scf(
