@@ -536,7 +536,7 @@ mod tests {
             assert_eq!(bonds, 4, "carbon {i} has {bonds} bonds");
         }
         // Even electron count (closed shell usable).
-        assert!(m.nelectrons() % 2 == 0);
+        assert!(m.nelectrons().is_multiple_of(2));
     }
 
     #[test]

@@ -14,11 +14,12 @@
 
 use std::sync::Arc;
 
-use crate::gtfock::{build_fock_gtfock_rec, GtfockConfig};
+use crate::gtfock::{try_build_fock_gtfock_rec, GtfockConfig};
 use crate::nwchem::{build_fock_nwchem_rec, NwchemConfig};
 use crate::seq::build_g_seq_rec;
+use crate::sim_exec::{StealConfig, VictimPolicy};
 use crate::tasks::FockProblem;
-use distrt::{CommStats, ProcessGrid};
+use distrt::{CommStats, FaultPlan, GaError, ProcessGrid};
 use obs::Recorder;
 
 /// Name of the metrics counter every builder bumps with its computed
@@ -89,6 +90,11 @@ pub struct BuildReport {
     pub queue_accesses: u64,
     /// Per-process one-sided communication.
     pub comm: Vec<CommStats>,
+    /// Tasks each process re-executed in fault recovery (lost to a dead
+    /// rank or an unflushed buffer); all zero in fault-free builds.
+    pub tasks_requeued: Vec<u64>,
+    /// Ranks the fault plan killed during this build.
+    pub ranks_died: u64,
 }
 
 impl BuildReport {
@@ -103,6 +109,8 @@ impl BuildReport {
             victims: vec![0; nprocs],
             queue_accesses: 0,
             comm: vec![CommStats::default(); nprocs],
+            tasks_requeued: vec![0; nprocs],
+            ranks_died: 0,
         }
     }
 
@@ -154,6 +162,17 @@ impl BuildReport {
         self.steals.iter().sum()
     }
 
+    /// Tasks re-executed by fault recovery across all processes.
+    pub fn total_requeued(&self) -> u64 {
+        self.tasks_requeued.iter().sum()
+    }
+
+    /// One-sided op attempts repeated after injected drops (from the
+    /// per-process comm accounting).
+    pub fn ga_retries(&self) -> u64 {
+        self.comm.iter().map(|c| c.retry_calls).sum()
+    }
+
     /// Aggregate communication over all processes.
     pub fn comm_total(&self) -> CommStats {
         let mut t = CommStats::default();
@@ -171,6 +190,44 @@ pub struct BuildOutcome {
     pub report: BuildReport,
 }
 
+/// A Fock build that could not produce a trustworthy G. Only fault
+/// injection can surface these; fault-free builds never fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// Recovery could not re-execute every lost task — the exactly-once
+    /// ledger still has unflushed tasks, so G is incomplete.
+    Incomplete {
+        tasks_lost: u64,
+        tasks_requeued: u64,
+    },
+    /// A one-sided op failed past its retry budget mid-flush; an unknown
+    /// prefix of that buffer landed, so G may be torn.
+    Comm(GaError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Incomplete {
+                tasks_lost,
+                tasks_requeued,
+            } => write!(
+                f,
+                "build incomplete: {tasks_lost} tasks lost ({tasks_requeued} requeued)"
+            ),
+            BuildError::Comm(e) => write!(f, "build communication failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<GaError> for BuildError {
+    fn from(e: GaError) -> Self {
+        BuildError::Comm(e)
+    }
+}
+
 /// A Fock-matrix construction algorithm. All implementations compute the
 /// same G(D) = 2J − K to floating-point reordering; they differ in
 /// parallel structure and communication pattern.
@@ -181,8 +238,15 @@ pub trait FockBuild {
 
     /// Build G for density `d` (row-major nbf×nbf in the problem's shell
     /// ordering). Events and metrics go to `rec`; pass
-    /// `&Recorder::disabled()` when telemetry is not wanted.
-    fn build(&self, prob: &FockProblem, d: &[f64], rec: &Recorder) -> BuildOutcome;
+    /// `&Recorder::disabled()` when telemetry is not wanted. `Err` is only
+    /// possible under fault injection (lost tasks / torn flushes); the SCF
+    /// driver reacts by re-basing with a fresh full build.
+    fn build(
+        &self,
+        prob: &FockProblem,
+        d: &[f64],
+        rec: &Recorder,
+    ) -> Result<BuildOutcome, BuildError>;
 }
 
 /// The sequential reference ([`crate::seq::build_g_seq`]) as a builder.
@@ -195,14 +259,19 @@ impl FockBuild for SeqBuild {
         "seq"
     }
 
-    fn build(&self, prob: &FockProblem, d: &[f64], rec: &Recorder) -> BuildOutcome {
-        build_g_seq_rec(prob, d, rec)
+    fn build(
+        &self,
+        prob: &FockProblem,
+        d: &[f64],
+        rec: &Recorder,
+    ) -> Result<BuildOutcome, BuildError> {
+        Ok(build_g_seq_rec(prob, d, rec))
     }
 }
 
 /// The paper's algorithm on a thread-backed virtual grid
 /// ([`crate::gtfock::build_fock_gtfock`]).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct GtfockBuild(pub GtfockConfig);
 
 impl FockBuild for GtfockBuild {
@@ -210,9 +279,14 @@ impl FockBuild for GtfockBuild {
         "gtfock"
     }
 
-    fn build(&self, prob: &FockProblem, d: &[f64], rec: &Recorder) -> BuildOutcome {
-        let (g, report) = build_fock_gtfock_rec(prob, d, self.0, rec);
-        BuildOutcome { g, report }
+    fn build(
+        &self,
+        prob: &FockProblem,
+        d: &[f64],
+        rec: &Recorder,
+    ) -> Result<BuildOutcome, BuildError> {
+        let (g, report) = try_build_fock_gtfock_rec(prob, d, self.0.clone(), rec)?;
+        Ok(BuildOutcome { g, report })
     }
 }
 
@@ -226,17 +300,24 @@ impl FockBuild for NwchemBuild {
         "nwchem"
     }
 
-    fn build(&self, prob: &FockProblem, d: &[f64], rec: &Recorder) -> BuildOutcome {
+    fn build(
+        &self,
+        prob: &FockProblem,
+        d: &[f64],
+        rec: &Recorder,
+    ) -> Result<BuildOutcome, BuildError> {
         let (g, report) = build_fock_nwchem_rec(prob, d, self.0, rec);
-        BuildOutcome { g, report }
+        Ok(BuildOutcome { g, report })
     }
 }
 
-/// Scheduler options common to the parallel builders, with one source of
-/// truth for the paper's defaults. Convert with [`SchedulerOpts::gtfock`]
-/// / [`SchedulerOpts::nwchem`] (or the `From` impls) instead of spelling
-/// out `GtfockConfig` / `NwchemConfig` field literals at every call site.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Scheduler options common to the parallel builders — real-thread *and*
+/// discrete-event simulated — with one source of truth for the paper's
+/// defaults. Convert with [`SchedulerOpts::gtfock`] /
+/// [`SchedulerOpts::nwchem`] / [`SchedulerOpts::steal_config`] (or the
+/// `From` impls) instead of spelling out config field literals at every
+/// call site.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchedulerOpts {
     /// Virtual process grid. GTFock uses the 2-D shape directly; the
     /// baseline flattens it to `grid.nprocs()` block-row processes.
@@ -246,6 +327,15 @@ pub struct SchedulerOpts {
     /// Atom quartets per task (baseline; the paper's choice is 5.
     /// Ignored by GTFock, whose task size is fixed by the shell pair).
     pub chunk: usize,
+    /// Victim-selection policy. The DES honours all variants; the
+    /// real-thread builder implements the paper's row scan only and
+    /// ignores other choices.
+    pub victim_policy: VictimPolicy,
+    /// Fraction of a victim's queue taken per steal (DES; the real-thread
+    /// builder delegates batch sizing to its deque implementation).
+    pub steal_fraction: f64,
+    /// Fault-injection plan applied to the build, if any.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for SchedulerOpts {
@@ -254,6 +344,9 @@ impl Default for SchedulerOpts {
             grid: ProcessGrid::new(1, 1),
             steal: true,
             chunk: 5,
+            victim_policy: VictimPolicy::RowScan,
+            steal_fraction: 0.5,
+            fault: None,
         }
     }
 }
@@ -281,20 +374,46 @@ impl SchedulerOpts {
         self
     }
 
+    pub fn victim_policy(mut self, policy: VictimPolicy) -> Self {
+        self.victim_policy = policy;
+        self
+    }
+
+    pub fn steal_fraction(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        self.steal_fraction = fraction;
+        self
+    }
+
+    pub fn fault(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     /// View as a GTFock configuration.
-    pub fn gtfock(self) -> GtfockConfig {
+    pub fn gtfock(&self) -> GtfockConfig {
         GtfockConfig {
             grid: self.grid,
             steal: self.steal,
+            fault: self.fault.clone(),
         }
     }
 
     /// View as a baseline configuration (grid flattened to a process
     /// count).
-    pub fn nwchem(self) -> NwchemConfig {
+    pub fn nwchem(&self) -> NwchemConfig {
         NwchemConfig {
             nprocs: self.grid.nprocs(),
             chunk: self.chunk,
+        }
+    }
+
+    /// View as the DES steal configuration.
+    pub fn steal_config(&self) -> StealConfig {
+        StealConfig {
+            enabled: self.steal,
+            policy: self.victim_policy,
+            fraction: self.steal_fraction,
         }
     }
 }
@@ -308,6 +427,12 @@ impl From<SchedulerOpts> for GtfockConfig {
 impl From<SchedulerOpts> for NwchemConfig {
     fn from(o: SchedulerOpts) -> Self {
         o.nwchem()
+    }
+}
+
+impl From<SchedulerOpts> for StealConfig {
+    fn from(o: SchedulerOpts) -> Self {
+        o.steal_config()
     }
 }
 
@@ -377,17 +502,51 @@ mod tests {
     fn scheduler_opts_conversions() {
         let o = SchedulerOpts::with_grid(ProcessGrid::new(2, 3))
             .steal(false)
-            .chunk(7);
-        let g: GtfockConfig = o.into();
+            .chunk(7)
+            .steal_fraction(0.25)
+            .victim_policy(VictimPolicy::MaxQueue);
+        let g: GtfockConfig = o.clone().into();
         assert_eq!(g.grid.nprocs(), 6);
         assert!(!g.steal);
-        let n: NwchemConfig = o.into();
+        assert!(g.fault.is_none());
+        let n: NwchemConfig = o.clone().into();
         assert_eq!(n.nprocs, 6);
         assert_eq!(n.chunk, 7);
+        let s: StealConfig = o.into();
+        assert!(!s.enabled);
+        assert_eq!(s.policy, VictimPolicy::MaxQueue);
+        assert_eq!(s.fraction, 0.25);
         // Defaults match the papers' choices.
         let d = SchedulerOpts::default();
         assert!(d.steal);
         assert_eq!(d.chunk, 5);
+        assert_eq!(d.victim_policy, VictimPolicy::RowScan);
+        assert_eq!(d.steal_fraction, 0.5);
+        assert!(d.fault.is_none());
+    }
+
+    #[test]
+    fn scheduler_opts_carry_fault_plan_into_gtfock() {
+        let plan = Arc::new(FaultPlan::new(5).kill(1, 0));
+        let o = SchedulerOpts::with_nprocs(4).fault(plan.clone());
+        let g = o.gtfock();
+        assert_eq!(g.fault.as_deref(), Some(plan.as_ref()));
+    }
+
+    #[test]
+    fn build_error_display() {
+        let e = BuildError::Incomplete {
+            tasks_lost: 3,
+            tasks_requeued: 9,
+        };
+        assert!(e.to_string().contains("3 tasks lost"));
+        let c: BuildError = GaError {
+            op: "get",
+            caller: 0,
+            attempts: 2,
+        }
+        .into();
+        assert!(c.to_string().contains("get"));
     }
 
     #[test]

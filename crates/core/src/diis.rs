@@ -13,7 +13,9 @@ use linalg::solve::solve;
 use linalg::Mat;
 use std::collections::VecDeque;
 
-/// DIIS state: a sliding window of (Fock, error) pairs.
+/// DIIS state: a sliding window of (Fock, error) pairs. `Clone` so SCF
+/// checkpoints can snapshot and restore the subspace.
+#[derive(Clone)]
 pub struct Diis {
     max_vecs: usize,
     focks: VecDeque<Mat>,

@@ -40,10 +40,12 @@ pub mod sink;
 pub mod tasks;
 
 pub use build::{
-    gtfock_builder, nwchem_builder, seq_builder, BuildOutcome, BuildReport, FockBuild,
+    gtfock_builder, nwchem_builder, seq_builder, BuildError, BuildOutcome, BuildReport, FockBuild,
     SchedulerOpts, PAIRDATA_BYTES_COUNTER, QUARTETS_COUNTER, QUARTET_NS_HISTOGRAM,
 };
-pub use gtfock::{build_fock_gtfock, build_fock_gtfock_rec, GtfockConfig, GtfockReport};
+pub use gtfock::{
+    build_fock_gtfock, build_fock_gtfock_rec, try_build_fock_gtfock_rec, GtfockConfig, GtfockReport,
+};
 pub use nwchem::{build_fock_nwchem, build_fock_nwchem_rec, NwchemConfig, NwchemReport};
-pub use scf::{ScfConfig, ScfConfigBuilder, ScfResult};
-pub use tasks::FockProblem;
+pub use scf::{ScfCheckpoint, ScfConfig, ScfConfigBuilder, ScfError, ScfResult};
+pub use tasks::{CompletionBoard, FockProblem};

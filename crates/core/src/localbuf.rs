@@ -17,7 +17,7 @@
 use crate::partition::StaticPartition;
 use crate::sink::FockSink;
 use crate::tasks::FockProblem;
-use distrt::GlobalArray;
+use distrt::{GaError, GlobalArray};
 
 /// Process-local prefetched D and accumulation F for one task block.
 pub struct LocalBuffers {
@@ -121,6 +121,17 @@ impl LocalBuffers {
     /// Prefetch all covered D blocks from the distributed array
     /// (one one-sided get per shell block, accounted to `rank`).
     pub fn fetch_d(&mut self, prob: &FockProblem, d: &GlobalArray, rank: usize) {
+        self.try_fetch_d(prob, d, rank).expect("D prefetch failed");
+    }
+
+    /// Fallible [`Self::fetch_d`]: under fault injection a permanently
+    /// dropped get aborts the prefetch (the buffer is left unusable).
+    pub fn try_fetch_d(
+        &mut self,
+        prob: &FockProblem,
+        d: &GlobalArray,
+        rank: usize,
+    ) -> Result<(), GaError> {
         for &(a, b) in &self.blocks {
             let (sa, sb) = (
                 &prob.basis.shells[a as usize],
@@ -128,18 +139,32 @@ impl LocalBuffers {
             );
             let off = self.block_off[a as usize * self.nshells + b as usize] as usize;
             let n = sa.nfuncs() * sb.nfuncs();
-            d.get(
+            d.try_get(
                 rank,
                 sa.bf_range(),
                 sb.bf_range(),
                 &mut self.dbuf[off..off + n],
-            );
+            )?;
         }
+        Ok(())
     }
 
     /// Accumulate the local F updates into the distributed F as
     /// ½·block + ½·blockᵀ per stored block (one-sided accs, accounted).
     pub fn flush_f(&self, prob: &FockProblem, f: &GlobalArray, rank: usize) {
+        self.try_flush_f(prob, f, rank).expect("F flush failed");
+    }
+
+    /// Fallible [`Self::flush_f`]. On `Err` the flush stopped mid-way: an
+    /// unknown prefix of the buffer's blocks already landed in F, so the
+    /// caller must treat the whole distributed F as compromised (the
+    /// builders surface this as a failed build; the SCF driver rebuilds).
+    pub fn try_flush_f(
+        &self,
+        prob: &FockProblem,
+        f: &GlobalArray,
+        rank: usize,
+    ) -> Result<(), GaError> {
         let mut tbuf: Vec<f64> = Vec::new();
         for &(a, b) in &self.blocks {
             let (sa, sb) = (
@@ -152,7 +177,7 @@ impl LocalBuffers {
             // ½ · block into (a, b)…
             tbuf.clear();
             tbuf.extend(blk.iter().map(|&v| v * 0.5));
-            f.acc(rank, sa.bf_range(), sb.bf_range(), &tbuf, 1.0);
+            f.try_acc(rank, sa.bf_range(), sb.bf_range(), &tbuf, 1.0)?;
             // …and ½ · blockᵀ into (b, a).
             tbuf.clear();
             tbuf.resize(na * nb, 0.0);
@@ -161,8 +186,9 @@ impl LocalBuffers {
                     tbuf[j * na + i] = 0.5 * blk[i * nb + j];
                 }
             }
-            f.acc(rank, sb.bf_range(), sa.bf_range(), &tbuf, 1.0);
+            f.try_acc(rank, sb.bf_range(), sa.bf_range(), &tbuf, 1.0)?;
         }
+        Ok(())
     }
 
     /// Reset the F accumulator (a thief reuses buffers across victims).
@@ -365,7 +391,7 @@ mod tests {
         let mut buf = LocalBuffers::for_process(&prob, &part, 1);
         buf.fetch_d(&prob, &ga, 1);
         let s = ga.stats(1);
-        assert_eq!(s.get_calls as usize >= buf.nblocks(), true);
+        assert!(s.get_calls as usize >= buf.nblocks());
         assert!(s.get_bytes >= (buf.len() * 8) as u64);
     }
 }

@@ -279,7 +279,15 @@ mod tests {
         let d = density(prob.nbf());
         let grid = ProcessGrid::new(2, 2);
         let (_, naive) = build_fock_naive(&prob, &d, grid);
-        let (_, gt) = build_fock_gtfock(&prob, &d, GtfockConfig { grid, steal: false });
+        let (_, gt) = build_fock_gtfock(
+            &prob,
+            &d,
+            GtfockConfig {
+                grid,
+                steal: false,
+                fault: None,
+            },
+        );
         let ncalls: u64 = naive.comm.iter().map(|c| c.total_calls()).sum();
         let gcalls: u64 = gt.comm.iter().map(|c| c.total_calls()).sum();
         assert!(

@@ -647,6 +647,7 @@ mod tests {
             crate::gtfock::GtfockConfig {
                 grid: distrt::ProcessGrid::new(2, 2),
                 steal: true,
+                fault: None,
             },
         );
         assert!(max_diff(&a, &b) < 1e-10, "diff {}", max_diff(&a, &b));

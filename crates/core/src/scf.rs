@@ -8,7 +8,7 @@
 //! G(D) = 2J(D) − K(D) so that F = H_core + G and
 //! E_elec = Σ_ij D_ij (H_ij + F_ij).
 
-use crate::build::{seq_builder, BuildReport, FockBuild};
+use crate::build::{seq_builder, BuildError, BuildReport, FockBuild};
 use crate::tasks::FockProblem;
 use chem::molecule::Molecule;
 use chem::reorder::ShellOrdering;
@@ -41,6 +41,87 @@ pub enum ScfGuess {
     /// much closer to the converged density than the bare core guess —
     /// which also makes ΔD small from the first incremental iteration.
     Gwh,
+}
+
+/// Why an SCF run failed.
+#[derive(Debug, Clone)]
+pub enum ScfError {
+    /// Problem setup failed (molecule/basis construction, screening tables).
+    Setup(String),
+    /// More occupied orbitals than basis functions: the closed-shell
+    /// determinant cannot be represented in this basis.
+    TooManyElectrons { nocc: usize, nbf: usize },
+    /// The Fock builder failed unrecoverably (fault injection exhausted
+    /// retries or recovery), and no checkpoint was available to re-base.
+    Build(BuildError),
+    /// `require_convergence` was set and the loop ran out of iterations.
+    /// The partial energy history is preserved for diagnosis.
+    NotConverged {
+        iterations: usize,
+        energy: f64,
+        history: Vec<f64>,
+    },
+}
+
+impl std::fmt::Display for ScfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScfError::Setup(msg) => write!(f, "SCF setup failed: {msg}"),
+            ScfError::TooManyElectrons { nocc, nbf } => {
+                write!(f, "{nocc} occupied orbitals exceed {nbf} basis functions")
+            }
+            ScfError::Build(e) => write!(f, "Fock build failed: {e}"),
+            ScfError::NotConverged {
+                iterations, energy, ..
+            } => write!(
+                f,
+                "SCF not converged after {iterations} iterations (E = {energy})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScfError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for ScfError {
+    fn from(e: BuildError) -> Self {
+        ScfError::Build(e)
+    }
+}
+
+/// Everything needed to resume the SCF loop mid-run: the densities and
+/// accumulated G of the incremental scheme, the energy history, and the
+/// DIIS subspace. Taken every [`ScfConfig::checkpoint_every`] iterations;
+/// the degraded-mode recovery path falls back to the last one when a Fock
+/// build fails unrecoverably.
+#[derive(Clone)]
+pub struct ScfCheckpoint {
+    /// Next iteration to run when resuming from this checkpoint.
+    pub iter: usize,
+    pub d: Mat,
+    pub g_prev: Mat,
+    pub d_prev: Mat,
+    pub fock: Mat,
+    pub e_prev: f64,
+    pub history: Vec<f64>,
+    pub diis: crate::diis::Diis,
+}
+
+impl std::fmt::Debug for ScfCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScfCheckpoint")
+            .field("iter", &self.iter)
+            .field("e_prev", &self.e_prev)
+            .field("history_len", &self.history.len())
+            .finish()
+    }
 }
 
 /// SCF configuration. Construct with [`ScfConfig::default`] plus struct
@@ -87,6 +168,17 @@ pub struct ScfConfig {
     /// Telemetry sink threaded into every Fock build; iteration
     /// boundaries are recorded as side events. Disabled by default.
     pub recorder: Recorder,
+    /// Treat running out of iterations as an error
+    /// ([`ScfError::NotConverged`]) instead of returning an unconverged
+    /// [`ScfResult`]. Off by default for backwards compatibility.
+    pub require_convergence: bool,
+    /// Snapshot an [`ScfCheckpoint`] every k iterations (0 = never). The
+    /// last checkpoint is returned in [`ScfResult::checkpoint`] and is the
+    /// fallback state for degraded-mode recovery after a failed build.
+    pub checkpoint_every: usize,
+    /// Resume a previous run: start from this checkpoint's state instead
+    /// of the initial guess.
+    pub resume: Option<ScfCheckpoint>,
 }
 
 impl std::fmt::Debug for ScfConfig {
@@ -105,6 +197,9 @@ impl std::fmt::Debug for ScfConfig {
             .field("builder", &self.builder.name())
             .field("density", &self.density)
             .field("recording", &self.recorder.is_enabled())
+            .field("require_convergence", &self.require_convergence)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("resume", &self.resume.is_some())
             .finish()
     }
 }
@@ -126,6 +221,9 @@ impl Default for ScfConfig {
             builder: seq_builder(),
             density: DensityMethod::Diagonalize,
             recorder: Recorder::disabled(),
+            require_convergence: false,
+            checkpoint_every: 0,
+            resume: None,
         }
     }
 }
@@ -217,6 +315,21 @@ impl ScfConfigBuilder {
         self
     }
 
+    pub fn require_convergence(mut self, on: bool) -> Self {
+        self.cfg.require_convergence = on;
+        self
+    }
+
+    pub fn checkpoint_every(mut self, k: usize) -> Self {
+        self.cfg.checkpoint_every = k;
+        self
+    }
+
+    pub fn resume(mut self, cp: ScfCheckpoint) -> Self {
+        self.cfg.resume = Some(cp);
+        self
+    }
+
     pub fn build(self) -> ScfConfig {
         self.cfg
     }
@@ -240,6 +353,9 @@ pub struct ScfResult {
     pub reports: Vec<BuildReport>,
     /// The problem (basis + screening) the run used.
     pub problem: FockProblem,
+    /// The last checkpoint taken (None unless `checkpoint_every > 0`).
+    /// Feed it back through [`ScfConfig::resume`] to continue the run.
+    pub checkpoint: Option<ScfCheckpoint>,
 }
 
 impl ScfResult {
@@ -261,19 +377,23 @@ impl ScfResult {
 }
 
 /// Run restricted Hartree-Fock for a closed-shell molecule.
+///
+/// Under fault injection a build can fail unrecoverably; the loop then
+/// degrades gracefully — an incremental (ΔD) failure re-bases with a full
+/// rebuild, a full-build failure restores the last [`ScfCheckpoint`]
+/// (once) and continues with incremental builds disabled — before finally
+/// surfacing [`ScfError::Build`].
 pub fn run_scf(
     molecule: Molecule,
     kind: BasisSetKind,
     cfg: ScfConfig,
-) -> Result<ScfResult, String> {
+) -> Result<ScfResult, ScfError> {
     let nocc = molecule.nocc();
     let e_nuc = molecule.nuclear_repulsion();
-    let prob = FockProblem::new(molecule, kind, cfg.tau, cfg.ordering)?;
+    let prob = FockProblem::new(molecule, kind, cfg.tau, cfg.ordering).map_err(ScfError::Setup)?;
     let nbf = prob.nbf();
     if nocc > nbf {
-        return Err(format!(
-            "{nocc} occupied orbitals exceed {nbf} basis functions"
-        ));
+        return Err(ScfError::TooManyElectrons { nocc, nbf });
     }
 
     let s = Mat::from_vec(nbf, nbf, oneints::overlap_matrix(&prob.basis));
@@ -281,55 +401,102 @@ pub fn run_scf(
     let x = inverse_sqrt(&s, 1e-10);
     let mut diis = crate::diis::Diis::new(8);
 
-    let f0 = match cfg.guess {
-        ScfGuess::Core => h.clone(),
-        ScfGuess::Gwh => {
-            let mut f = Mat::zeros(nbf, nbf);
-            for i in 0..nbf {
-                for j in 0..nbf {
-                    f[(i, j)] = if i == j {
-                        h[(i, i)]
-                    } else {
-                        0.5 * 1.75 * (h[(i, i)] + h[(j, j)]) * s[(i, j)]
-                    };
-                }
-            }
-            f
-        }
-    };
-    let mut d = density_from_fock(&f0, &x, nocc, cfg.density);
+    let mut fock = h.clone();
+    let mut g_prev = Mat::zeros(nbf, nbf);
+    let mut d_prev = Mat::zeros(nbf, nbf);
     let mut e_prev = f64::INFINITY;
     let mut history = Vec::new();
-    let mut fock = h.clone();
+    let mut start_iter = 0;
+    let mut d = if let Some(cp) = &cfg.resume {
+        g_prev = cp.g_prev.clone();
+        d_prev = cp.d_prev.clone();
+        fock = cp.fock.clone();
+        e_prev = cp.e_prev;
+        history = cp.history.clone();
+        diis = cp.diis.clone();
+        start_iter = cp.iter;
+        cp.d.clone()
+    } else {
+        let f0 = match cfg.guess {
+            ScfGuess::Core => h.clone(),
+            ScfGuess::Gwh => {
+                let mut f = Mat::zeros(nbf, nbf);
+                for i in 0..nbf {
+                    for j in 0..nbf {
+                        f[(i, j)] = if i == j {
+                            h[(i, i)]
+                        } else {
+                            0.5 * 1.75 * (h[(i, i)] + h[(j, j)]) * s[(i, j)]
+                        };
+                    }
+                }
+                f
+            }
+        };
+        density_from_fock(&f0, &x, nocc, cfg.density)
+    };
     let mut converged = false;
     let mut iterations = 0;
     let mut reports = Vec::new();
+    let mut last_checkpoint: Option<ScfCheckpoint> = None;
+    // Degraded mode: after a checkpoint restore, stay on full builds (the
+    // accumulated G of the incremental scheme is no longer trusted) and
+    // never restore a second time.
+    let mut restored_once = false;
+    let mut forced_full = false;
 
-    let mut g_prev = Mat::zeros(nbf, nbf);
-    let mut d_prev = Mat::zeros(nbf, nbf);
-    for it in 0..cfg.max_iter {
-        iterations = it + 1;
+    for it in start_iter..start_iter + cfg.max_iter {
+        iterations = it - start_iter + 1;
         if cfg.recorder.is_enabled() {
             cfg.recorder
                 .side_event(0, EventKind::IterStart { iter: it as u32 });
         }
         // Periodic full rebuilds re-base the accumulated G so per-ΔD-build
         // screening errors cannot pile up across the whole run.
-        let full_build = !cfg.incremental
-            || it == 0
+        let full_build = forced_full
+            || !cfg.incremental
+            || it == start_iter
             || (cfg.rebuild_every > 0 && it.is_multiple_of(cfg.rebuild_every));
-        let g = if full_build {
-            let (g, report) = build_g(&prob, &d, &cfg);
-            reports.push(report);
-            g
+        let g_result: Result<Mat, BuildError> = if full_build {
+            build_g(&prob, &d, &cfg).map(|(g, report)| {
+                reports.push(report);
+                g
+            })
         } else {
             // G(D) = G(D_prev) + G(D - D_prev).
             let mut delta = d.clone();
             delta.axpy(-1.0, &d_prev);
-            let (mut g, report) = build_g(&prob, &delta, &cfg);
-            reports.push(report);
-            g.axpy(1.0, &g_prev);
-            g
+            match build_g(&prob, &delta, &cfg) {
+                Ok((mut g, report)) => {
+                    reports.push(report);
+                    g.axpy(1.0, &g_prev);
+                    Ok(g)
+                }
+                // The ΔD contribution was lost mid-flight: re-base by
+                // rebuilding from the full density instead.
+                Err(_) => build_g(&prob, &d, &cfg).map(|(g, report)| {
+                    reports.push(report);
+                    g
+                }),
+            }
+        };
+        let g = match g_result {
+            Ok(g) => g,
+            Err(e) => match last_checkpoint.clone() {
+                Some(cp) if !restored_once => {
+                    restored_once = true;
+                    forced_full = true;
+                    d = cp.d;
+                    g_prev = cp.g_prev;
+                    d_prev = cp.d_prev;
+                    fock = cp.fock;
+                    e_prev = cp.e_prev;
+                    history = cp.history;
+                    diis = cp.diis;
+                    continue;
+                }
+                _ => return Err(ScfError::Build(e)),
+            },
         };
         if cfg.incremental {
             g_prev = g.clone();
@@ -373,6 +540,18 @@ pub fn run_scf(
         let e_change = (energy - e_prev).abs();
         d = d_new;
         e_prev = energy;
+        if cfg.checkpoint_every > 0 && iterations.is_multiple_of(cfg.checkpoint_every) {
+            last_checkpoint = Some(ScfCheckpoint {
+                iter: it + 1,
+                d: d.clone(),
+                g_prev: g_prev.clone(),
+                d_prev: d_prev.clone(),
+                fock: fock.clone(),
+                e_prev,
+                history: history.clone(),
+                diis: diis.clone(),
+            });
+        }
         if cfg.recorder.is_enabled() {
             cfg.recorder
                 .side_event(0, EventKind::IterEnd { iter: it as u32 });
@@ -383,6 +562,13 @@ pub fn run_scf(
         }
     }
 
+    if !converged && cfg.require_convergence {
+        return Err(ScfError::NotConverged {
+            iterations,
+            energy: e_prev,
+            history,
+        });
+    }
     Ok(ScfResult {
         energy: e_prev,
         converged,
@@ -392,6 +578,7 @@ pub fn run_scf(
         density: d,
         reports,
         problem: prob,
+        checkpoint: last_checkpoint,
     })
 }
 
@@ -421,10 +608,10 @@ pub fn density_from_fock(f: &Mat, x: &Mat, nocc: usize, method: DensityMethod) -
     )
 }
 
-fn build_g(prob: &FockProblem, d: &Mat, cfg: &ScfConfig) -> (Mat, BuildReport) {
+fn build_g(prob: &FockProblem, d: &Mat, cfg: &ScfConfig) -> Result<(Mat, BuildReport), BuildError> {
     let nbf = prob.nbf();
-    let out = cfg.builder.build(prob, d.as_slice(), &cfg.recorder);
-    (Mat::from_vec(nbf, nbf, out.g), out.report)
+    let out = cfg.builder.build(prob, d.as_slice(), &cfg.recorder)?;
+    Ok((Mat::from_vec(nbf, nbf, out.g), out.report))
 }
 
 #[cfg(test)]
@@ -535,6 +722,7 @@ mod tests {
                 builder: gtfock_builder(GtfockConfig {
                     grid: ProcessGrid::new(2, 2),
                     steal: true,
+                    fault: None,
                 }),
                 ordering: ShellOrdering::cells_default(),
                 ..base.clone()
@@ -748,6 +936,80 @@ mod tests {
         );
         // Stabilizers slow convergence; they must not change the answer.
         assert!(stabilized.iterations >= plain.iterations);
+    }
+
+    #[test]
+    fn require_convergence_surfaces_not_converged() {
+        let cfg = ScfConfig::builder()
+            .max_iter(2)
+            .require_convergence(true)
+            .build();
+        let err = match run_scf(generators::water(), BasisSetKind::Sto3g, cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("2 iterations must not converge water"),
+        };
+        match err {
+            ScfError::NotConverged {
+                iterations,
+                history,
+                ..
+            } => {
+                assert_eq!(iterations, 2);
+                assert_eq!(history.len(), 2);
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_reaches_same_energy() {
+        let full = run_scf(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            ScfConfig::builder().diis(true).build(),
+        )
+        .unwrap();
+        // Stop early with checkpointing on, then resume from the snapshot.
+        let first = run_scf(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            ScfConfig::builder()
+                .diis(true)
+                .max_iter(4)
+                .checkpoint_every(2)
+                .build(),
+        )
+        .unwrap();
+        assert!(!first.converged);
+        let cp = first.checkpoint.expect("checkpoint taken");
+        assert_eq!(cp.iter, 4);
+        let resumed = run_scf(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            ScfConfig::builder().diis(true).resume(cp).build(),
+        )
+        .unwrap();
+        assert!(resumed.converged);
+        assert!(
+            (resumed.energy - full.energy).abs() < 1e-8,
+            "{} vs {}",
+            resumed.energy,
+            full.energy
+        );
+        // Resuming skips the iterations already paid for.
+        assert!(resumed.iterations + 4 <= full.iterations + 2);
+    }
+
+    #[test]
+    fn scf_error_display_and_source() {
+        let e = ScfError::TooManyElectrons { nocc: 5, nbf: 3 };
+        assert!(e.to_string().contains("5 occupied"));
+        let b: ScfError = BuildError::Incomplete {
+            tasks_lost: 2,
+            tasks_requeued: 7,
+        }
+        .into();
+        assert!(std::error::Error::source(&b).is_some());
     }
 
     #[test]

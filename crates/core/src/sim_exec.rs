@@ -18,9 +18,9 @@
 use crate::nwchem::AtomMap;
 use crate::partition::StaticPartition;
 use crate::tasks::{symmetry_check, FockProblem};
-use distrt::{MachineParams, ProcessGrid, Sim};
+use distrt::{FaultPlan, MachineParams, ProcessGrid, Sim};
 use eri::{CostModel, DensityNorms};
-use obs::{EventKind, Recorder};
+use obs::{fault_code, EventKind, Recorder};
 use rayon::prelude::*;
 
 /// Per-virtual-process outcome of a simulated build.
@@ -44,6 +44,9 @@ pub struct ProcessOutcome {
     pub victims: u64,
     /// Tasks executed.
     pub tasks: u64,
+    /// Orphaned tasks this process adopted from a dead rank (GTFock
+    /// fault injection).
+    pub requeued: u64,
 }
 
 /// Result of one simulated build.
@@ -98,6 +101,11 @@ impl SimResult {
     /// Average steal victims (the model's `s`).
     pub fn avg_victims(&self) -> f64 {
         self.per_process.iter().map(|p| p.victims).sum::<u64>() as f64 / self.nprocs as f64
+    }
+
+    /// Total tasks re-executed after a rank death (0 in fault-free runs).
+    pub fn tasks_requeued(&self) -> u64 {
+        self.per_process.iter().map(|p| p.requeued).sum()
     }
 }
 
@@ -423,10 +431,42 @@ impl<'a> GtfockSimModel<'a> {
         steal: StealConfig,
         rec: &Recorder,
     ) -> SimResult {
+        self.simulate_faulty(machine, ncores, steal, None, rec)
+    }
+
+    /// [`Self::simulate_opts_rec`] under a deterministic fault plan,
+    /// mirroring the threaded builder's failure semantics at cluster
+    /// scale:
+    ///
+    /// * A rank dies after executing `after_tasks` tasks; everything it
+    ///   computed-but-never-flushed plus its remaining queue becomes
+    ///   orphaned work, which surviving ranks adopt after their own
+    ///   queues (and steals) run dry. Already-finished ranks are woken at
+    ///   the death time. Thieves never steal from a doomed rank.
+    /// * A straggler's task *wall* time stretches by the slowdown factor;
+    ///   `t_comp` stays unscaled (the cycles were always there — the
+    ///   slowdown is interference).
+    /// * Dropped one-sided ops charge `retries × machine.op_timeout` of
+    ///   extra communication time at each comm point, driven by the same
+    ///   deterministic per-(rank, op) coin as the real GA layer.
+    ///
+    /// Approximations: orphan adoption copies the union of all dead
+    /// regions once per adopting rank, and the recovery flush is charged
+    /// at the same geometry (the threaded build flushes exactly the
+    /// recovered blocks).
+    pub fn simulate_faulty(
+        &self,
+        machine: MachineParams,
+        ncores: usize,
+        steal: StealConfig,
+        fault: Option<&FaultPlan>,
+        rec: &Recorder,
+    ) -> SimResult {
         assert!(
             steal.fraction > 0.0 && steal.fraction <= 1.0,
             "steal fraction in (0, 1]"
         );
+        let fault = fault.filter(|p| p.is_active());
         let nodes = (ncores / machine.cores_per_node).max(1);
         let threads = machine.cores_per_node.min(ncores);
         let grid = ProcessGrid::squarest(nodes);
@@ -448,17 +488,51 @@ impl<'a> GtfockSimModel<'a> {
         let mut victims_of: Vec<Vec<usize>> = vec![Vec::new(); nprocs];
         let region: Vec<(u64, u64)> = (0..nprocs).map(|r| self.region_comm(&part, r)).collect();
 
+        // Fault state — all of it stays empty / no-op when `fault` is None.
+        let mut dead = vec![false; nprocs];
+        let mut finished = vec![false; nprocs];
+        let mut flushed = vec![false; nprocs];
+        let mut adopted_since = vec![false; nprocs];
+        let mut executed_n = vec![0u64; nprocs];
+        // Executed-but-unflushed task ids, tracked only for doomed ranks:
+        // they are lost (orphaned) at death, exactly as the threaded
+        // builder loses a dead worker's unflushed buffers.
+        let mut executed_ids: Vec<Vec<u32>> = vec![Vec::new(); nprocs];
+        let mut ops = vec![0u64; nprocs];
+        let mut orphans: Vec<u32> = Vec::new();
+        let mut orphan_fetched = vec![false; nprocs];
+        // Summed comm geometry of all dead ranks' regions.
+        let mut dead_region = (0u64, 0u64);
+        let doomed = |v: usize| fault.is_some_and(|p| p.is_doomed(v));
+
         let mut sim: Sim<usize> = Sim::new();
         for rank in 0..nprocs {
             // D prefetch happens first.
             let (b, c) = region[rank];
-            let t = machine.comm_time(c, b);
+            let mut t = machine.comm_time(c, b);
+            t += drop_surcharge(fault, &machine, rank, 0.0, &mut ops, rec);
             out[rank].t_comm += t;
             out[rank].bytes += b;
             out[rank].calls += c;
             if rec.is_enabled() {
                 rec.side_event_at(rank, 0.0, EventKind::WorkerStart);
                 rec.side_event_at(rank, t, EventKind::DPrefetch { bytes: b, calls: c });
+            }
+            if let Some(p) = fault {
+                let s = p.slowdown(rank);
+                if s > 1.0 {
+                    rec.counter(obs::names::FAULT_INJECTED).add(1);
+                    if rec.is_enabled() {
+                        rec.side_event_at(
+                            rank,
+                            0.0,
+                            EventKind::Fault {
+                                code: fault_code::STRAGGLER,
+                                detail: (s * 1000.0) as u32,
+                            },
+                        );
+                    }
+                }
             }
             sim.schedule(t, rank);
         }
@@ -469,6 +543,43 @@ impl<'a> GtfockSimModel<'a> {
             if events > 10_000_000 {
                 panic!("DES runaway: {} events, rank {}, now {}", events, rank, now);
             }
+            if dead[rank] {
+                continue;
+            }
+            // Scheduled death fires when the rank would start its next
+            // task: everything it executed-but-never-flushed plus its
+            // remaining queue is orphaned; finished survivors are woken
+            // at the death time to adopt it.
+            if let Some(p) = fault {
+                if p.death_after(rank) == Some(executed_n[rank]) {
+                    dead[rank] = true;
+                    orphans.append(&mut executed_ids[rank]);
+                    orphans.extend(&queues[rank][heads[rank]..]);
+                    heads[rank] = queues[rank].len();
+                    dead_region.0 += region[rank].0;
+                    dead_region.1 += region[rank].1;
+                    out[rank].t_fock = now;
+                    rec.counter(obs::names::FAULT_INJECTED).add(1);
+                    if rec.is_enabled() {
+                        rec.side_event_at(
+                            rank,
+                            now,
+                            EventKind::Fault {
+                                code: fault_code::RANK_DEATH,
+                                detail: executed_n[rank] as u32,
+                            },
+                        );
+                        rec.side_event_at(rank, now, EventKind::WorkerEnd);
+                    }
+                    for r in 0..nprocs {
+                        if finished[r] && !dead[r] {
+                            finished[r] = false;
+                            sim.schedule(now, r);
+                        }
+                    }
+                    continue;
+                }
+            }
             // Pop own queue.
             if heads[rank] < queues[rank].len() {
                 let task = queues[rank][heads[rank]] as usize;
@@ -476,6 +587,12 @@ impl<'a> GtfockSimModel<'a> {
                 let cost = self.task_cost[task] as f64;
                 out[rank].t_comp += cost / threads as f64;
                 out[rank].tasks += 1;
+                executed_n[rank] += 1;
+                if doomed(rank) {
+                    executed_ids[rank].push(task as u32);
+                }
+                // A straggler's wall time stretches; t_comp stays pure.
+                let wall = cost / threads as f64 * fault.map_or(1.0, |p| p.slowdown(rank));
                 if rec.is_enabled() {
                     let (m, nn) = (task / n, task % n);
                     rec.side_event_at(
@@ -488,7 +605,7 @@ impl<'a> GtfockSimModel<'a> {
                     );
                     rec.side_event_at(
                         rank,
-                        now + cost / threads as f64,
+                        now + wall,
                         EventKind::TaskEnd {
                             m: m as u32,
                             n: nn as u32,
@@ -496,7 +613,7 @@ impl<'a> GtfockSimModel<'a> {
                         },
                     );
                 }
-                sim.schedule(now + cost / threads as f64, rank);
+                sim.schedule(now + wall, rank);
                 continue;
             }
             if steal.enabled {
@@ -510,13 +627,15 @@ impl<'a> GtfockSimModel<'a> {
                         // backlog; the fallback takes anything non-empty).
                         const MIN_BLOCK: usize = 8;
                         for v in grid.steal_order(rank) {
-                            if queues[v].len() - heads[v] >= MIN_BLOCK {
+                            if !doomed(v) && queues[v].len() - heads[v] >= MIN_BLOCK {
                                 found = Some(v);
                                 break;
                             }
                         }
                         if found.is_none() {
-                            found = grid.steal_order(rank).find(|&v| heads[v] < queues[v].len());
+                            found = grid
+                                .steal_order(rank)
+                                .find(|&v| !doomed(v) && heads[v] < queues[v].len());
                         }
                     }
                     VictimPolicy::Random { seed } => {
@@ -532,18 +651,20 @@ impl<'a> GtfockSimModel<'a> {
                                 .wrapping_mul(6364136223846793005)
                                 .wrapping_add(1442695040888963407);
                             let v = (state >> 33) as usize % nprocs;
-                            if v != rank && heads[v] < queues[v].len() {
+                            if v != rank && !doomed(v) && heads[v] < queues[v].len() {
                                 found = Some(v);
                                 break;
                             }
                         }
                         if found.is_none() {
-                            found = grid.steal_order(rank).find(|&v| heads[v] < queues[v].len());
+                            found = grid
+                                .steal_order(rank)
+                                .find(|&v| !doomed(v) && heads[v] < queues[v].len());
                         }
                     }
                     VictimPolicy::MaxQueue => {
                         found = (0..nprocs)
-                            .filter(|&v| v != rank && heads[v] < queues[v].len())
+                            .filter(|&v| v != rank && !doomed(v) && heads[v] < queues[v].len())
                             .max_by_key(|&v| queues[v].len() - heads[v]);
                     }
                 }
@@ -571,7 +692,7 @@ impl<'a> GtfockSimModel<'a> {
                     // Copy the victim's D-local — once per distinct victim
                     // (the paper keeps the copied buffer while stealing
                     // repeatedly from the same victim, Section III-F).
-                    let t = if victims_of[rank].contains(&v) {
+                    let mut t = if victims_of[rank].contains(&v) {
                         machine.latency // queue update only
                     } else {
                         victims_of[rank].push(v);
@@ -580,6 +701,7 @@ impl<'a> GtfockSimModel<'a> {
                         out[rank].calls += c;
                         machine.comm_time(c, b)
                     };
+                    t += drop_surcharge(fault, &machine, rank, now, &mut ops, rec);
                     out[rank].t_comm += t;
                     // The first stolen task is consumed atomically with the
                     // steal (as crossbeam's steal_batch_and_pop does) —
@@ -590,6 +712,11 @@ impl<'a> GtfockSimModel<'a> {
                     let cost = self.task_cost[first] as f64 / threads as f64;
                     out[rank].t_comp += cost;
                     out[rank].tasks += 1;
+                    executed_n[rank] += 1;
+                    if doomed(rank) {
+                        executed_ids[rank].push(first as u32);
+                    }
+                    let wall = cost * fault.map_or(1.0, |p| p.slowdown(rank));
                     if rec.is_enabled() {
                         let (m, nn) = (first / n, first % n);
                         rec.side_event_at(
@@ -602,7 +729,7 @@ impl<'a> GtfockSimModel<'a> {
                         );
                         rec.side_event_at(
                             rank,
-                            now + t + cost,
+                            now + t + wall,
                             EventKind::TaskEnd {
                                 m: m as u32,
                                 n: nn as u32,
@@ -610,32 +737,117 @@ impl<'a> GtfockSimModel<'a> {
                             },
                         );
                     }
-                    sim.schedule(now + t + cost, rank);
+                    sim.schedule(now + t + wall, rank);
                     continue;
                 }
             }
-            // Done: flush own F region plus one flush per distinct victim.
-            let mut flush_b = region[rank].0;
-            let mut flush_c = region[rank].1;
-            for &v in &victims_of[rank] {
-                flush_b += region[v].0;
-                flush_c += region[v].1;
+            // Recovery: adopt an orphaned task from a dead rank. Only runs
+            // once the rank's own queue and every steal source is dry —
+            // the mirror of the threaded builder's post-join phase.
+            if !orphans.is_empty() {
+                let task = orphans.pop().expect("checked nonempty") as usize;
+                out[rank].tasks += 1;
+                out[rank].requeued += 1;
+                executed_n[rank] += 1;
+                if doomed(rank) {
+                    executed_ids[rank].push(task as u32);
+                }
+                adopted_since[rank] = true;
+                rec.counter(obs::names::TASK_REQUEUED).add(1);
+                // Copy the (union of the) dead regions' D once per
+                // adopting rank, like any other victim copy.
+                let mut t = if orphan_fetched[rank] {
+                    machine.latency
+                } else {
+                    orphan_fetched[rank] = true;
+                    let (b, c) = dead_region;
+                    out[rank].bytes += b;
+                    out[rank].calls += c;
+                    machine.comm_time(c, b)
+                };
+                t += drop_surcharge(fault, &machine, rank, now, &mut ops, rec);
+                out[rank].t_comm += t;
+                let cost = self.task_cost[task] as f64 / threads as f64;
+                out[rank].t_comp += cost;
+                let wall = cost * fault.map_or(1.0, |p| p.slowdown(rank));
+                if rec.is_enabled() {
+                    let (m, nn) = (task / n, task % n);
+                    rec.side_event_at(
+                        rank,
+                        now,
+                        EventKind::Fault {
+                            code: fault_code::TASK_REQUEUE,
+                            detail: 1,
+                        },
+                    );
+                    rec.side_event_at(
+                        rank,
+                        now + t,
+                        EventKind::TaskStart {
+                            m: m as u32,
+                            n: nn as u32,
+                        },
+                    );
+                    rec.side_event_at(
+                        rank,
+                        now + t + wall,
+                        EventKind::TaskEnd {
+                            m: m as u32,
+                            n: nn as u32,
+                            quartets: self.task_quartets[task],
+                        },
+                    );
+                }
+                sim.schedule(now + t + wall, rank);
+                continue;
             }
-            let t = machine.comm_time(flush_c, flush_b);
-            out[rank].t_comm += t;
-            out[rank].bytes += flush_b;
-            out[rank].calls += flush_c;
-            out[rank].t_fock = now + t;
-            out[rank].victims = victims_of[rank].len() as u64;
+            // Done: flush own F region plus one flush per distinct victim.
+            // A rank re-woken for recovery flushes again only if it
+            // actually adopted work (charged at the dead regions'
+            // geometry); re-finishing idle costs nothing.
+            let t = if !flushed[rank] {
+                flushed[rank] = true;
+                let mut flush_b = region[rank].0;
+                let mut flush_c = region[rank].1;
+                for &v in &victims_of[rank] {
+                    flush_b += region[v].0;
+                    flush_c += region[v].1;
+                }
+                let mut t = machine.comm_time(flush_c, flush_b);
+                t += drop_surcharge(fault, &machine, rank, now, &mut ops, rec);
+                out[rank].t_comm += t;
+                out[rank].bytes += flush_b;
+                out[rank].calls += flush_c;
+                out[rank].victims = victims_of[rank].len() as u64;
+                if rec.is_enabled() {
+                    rec.side_event_at(
+                        rank,
+                        now + t,
+                        EventKind::FFlush {
+                            bytes: flush_b,
+                            calls: flush_c,
+                        },
+                    );
+                }
+                t
+            } else if adopted_since[rank] {
+                adopted_since[rank] = false;
+                let (b, c) = dead_region;
+                let mut t = machine.comm_time(c, b);
+                t += drop_surcharge(fault, &machine, rank, now, &mut ops, rec);
+                out[rank].t_comm += t;
+                out[rank].bytes += b;
+                out[rank].calls += c;
+                if rec.is_enabled() {
+                    rec.side_event_at(rank, now + t, EventKind::FFlush { bytes: b, calls: c });
+                }
+                t
+            } else {
+                0.0
+            };
+            out[rank].t_fock = out[rank].t_fock.max(now + t);
+            finished[rank] = true;
             if rec.is_enabled() {
-                rec.side_event_at(
-                    rank,
-                    now + t,
-                    EventKind::FFlush {
-                        bytes: flush_b,
-                        calls: flush_c,
-                    },
-                );
                 rec.side_event_at(rank, now + t, EventKind::WorkerEnd);
             }
         }
@@ -646,6 +858,39 @@ impl<'a> GtfockSimModel<'a> {
             per_process: out,
         }
     }
+}
+
+/// Extra communication time a comm point pays for fault-injected lost
+/// one-sided ops: each dropped attempt costs one `op_timeout` before the
+/// retry fires. Advances the caller's deterministic per-rank op counter —
+/// the same coin the real GA layer flips — and records the drops.
+fn drop_surcharge(
+    fault: Option<&FaultPlan>,
+    machine: &MachineParams,
+    rank: usize,
+    now: f64,
+    ops: &mut [u64],
+    rec: &Recorder,
+) -> f64 {
+    let Some(p) = fault else { return 0.0 };
+    let r = p.retries_for(rank, ops[rank]);
+    ops[rank] += r as u64 + 1;
+    if r == 0 {
+        return 0.0;
+    }
+    rec.counter(obs::names::FAULT_INJECTED).add(r as u64);
+    rec.counter(obs::names::GA_RETRIES).add(r as u64);
+    if rec.is_enabled() {
+        rec.side_event_at(
+            rank,
+            now,
+            EventKind::Fault {
+                code: fault_code::OP_DROP,
+                detail: r,
+            },
+        );
+    }
+    r as f64 * machine.op_timeout
 }
 
 /// Contiguous runs in a sorted index list — the number of rectangular GA
@@ -1279,6 +1524,83 @@ mod tests {
         );
         // Omniscient victim choice should not lose by much.
         assert!(maxq.t_fock_max() <= scan.t_fock_max() * 1.2);
+    }
+
+    #[test]
+    fn des_rank_death_requeues_and_completes() {
+        let (prob, cost) = setup();
+        let model = GtfockSimModel::new(&prob, &cost);
+        let machine = MachineParams::lonestar();
+        let plan = FaultPlan::new(5).kill(1, 3);
+        let run = || {
+            model.simulate_faulty(
+                machine,
+                48,
+                StealConfig::paper(),
+                Some(&plan),
+                &Recorder::disabled(),
+            )
+        };
+        let r = run();
+        let total = (prob.nshells() * prob.nshells()) as u64;
+        let tasks: u64 = r.per_process.iter().map(|p| p.tasks).sum();
+        assert!(r.tasks_requeued() > 0);
+        // Every task completes; the dead rank's 3 executed-but-lost tasks
+        // are the only ones that run twice.
+        assert_eq!(tasks, total + 3);
+        assert_eq!(r.per_process[1].requeued, 0, "dead rank adopts nothing");
+        // Determinism: the same plan yields the same requeue count.
+        assert_eq!(run().tasks_requeued(), r.tasks_requeued());
+    }
+
+    #[test]
+    fn des_straggler_stretches_wall_clock_not_compute() {
+        let (prob, cost) = setup();
+        let model = GtfockSimModel::new(&prob, &cost);
+        let machine = MachineParams::lonestar();
+        let base = model.simulate_opts(machine, 48, StealConfig::paper());
+        let plan = FaultPlan::new(1).straggle(0, 2.0);
+        let slow = model.simulate_faulty(
+            machine,
+            48,
+            StealConfig::paper(),
+            Some(&plan),
+            &Recorder::disabled(),
+        );
+        assert!(
+            slow.t_fock_max() > base.t_fock_max(),
+            "{} !> {}",
+            slow.t_fock_max(),
+            base.t_fock_max()
+        );
+        // The cycles were always there: total compute is conserved.
+        let c0: f64 = base.per_process.iter().map(|p| p.t_comp).sum();
+        let c1: f64 = slow.per_process.iter().map(|p| p.t_comp).sum();
+        assert!((c0 - c1).abs() < 1e-9 * c0.max(1e-12));
+        assert_eq!(slow.tasks_requeued(), 0);
+    }
+
+    #[test]
+    fn des_dropped_ops_add_comm_time() {
+        let (prob, cost) = setup();
+        let model = GtfockSimModel::new(&prob, &cost);
+        let machine = MachineParams::lonestar();
+        let base = model.simulate_opts(machine, 48, StealConfig::paper());
+        let plan = FaultPlan::new(9).drop_ops(0.2);
+        let faulty = model.simulate_faulty(
+            machine,
+            48,
+            StealConfig::paper(),
+            Some(&plan),
+            &Recorder::disabled(),
+        );
+        let t0: f64 = base.per_process.iter().map(|p| p.t_comm).sum();
+        let t1: f64 = faulty.per_process.iter().map(|p| p.t_comm).sum();
+        assert!(t1 > t0, "retries added no comm time: {t1} !> {t0}");
+        // Drops delay but never lose work.
+        let tasks: u64 = faulty.per_process.iter().map(|p| p.tasks).sum();
+        assert_eq!(tasks as usize, prob.nshells() * prob.nshells());
+        assert_eq!(faulty.tasks_requeued(), 0);
     }
 
     #[test]

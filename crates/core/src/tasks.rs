@@ -161,6 +161,65 @@ impl FockProblem {
     }
 }
 
+/// Shared per-task completion bitmap — the exactly-once ledger for fault
+/// recovery.
+///
+/// A task's bit is set when its Fock contribution has been **flushed** into
+/// the distributed F (not merely computed: a dead rank may have computed
+/// tasks whose buffered updates it never flushed — those are lost and must
+/// be re-executed). Workers mark their tasks' bits after a successful
+/// flush; the recovery phase re-executes every task whose bit is still
+/// clear, claiming each via an atomic test-and-set first, so no task's
+/// contribution can reach F twice.
+pub struct CompletionBoard {
+    bits: Vec<std::sync::atomic::AtomicU64>,
+    ntasks: usize,
+}
+
+impl CompletionBoard {
+    pub fn new(ntasks: usize) -> Self {
+        let words = ntasks.div_ceil(64);
+        CompletionBoard {
+            bits: (0..words)
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect(),
+            ntasks,
+        }
+    }
+
+    pub fn ntasks(&self) -> usize {
+        self.ntasks
+    }
+
+    /// Atomically set `task`'s bit; returns true if this call set it (the
+    /// caller owns the task's flush), false if it was already set.
+    pub fn mark(&self, task: usize) -> bool {
+        assert!(task < self.ntasks);
+        let (w, b) = (task / 64, task % 64);
+        let prev = self.bits[w].fetch_or(1 << b, std::sync::atomic::Ordering::AcqRel);
+        prev & (1 << b) == 0
+    }
+
+    pub fn is_done(&self, task: usize) -> bool {
+        assert!(task < self.ntasks);
+        let (w, b) = (task / 64, task % 64);
+        self.bits[w].load(std::sync::atomic::Ordering::Acquire) & (1 << b) != 0
+    }
+
+    /// Tasks whose contribution has not been flushed. Call after workers
+    /// have joined (quiescent), e.g. to drive recovery.
+    pub fn missing(&self) -> Vec<usize> {
+        (0..self.ntasks).filter(|&t| !self.is_done(t)).collect()
+    }
+
+    pub fn count_done(&self) -> usize {
+        self.bits
+            .iter()
+            .map(|w| w.load(std::sync::atomic::Ordering::Acquire).count_ones() as usize)
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,5 +360,44 @@ mod tests {
                 .sum()
         };
         assert!(count(&loose) < count(&tight));
+    }
+
+    #[test]
+    fn completion_board_marks_exactly_once() {
+        let board = CompletionBoard::new(130);
+        assert_eq!(board.count_done(), 0);
+        assert!(board.mark(0));
+        assert!(!board.mark(0), "second mark must lose the claim");
+        assert!(board.mark(129));
+        assert!(board.is_done(0));
+        assert!(!board.is_done(64));
+        assert_eq!(board.count_done(), 2);
+        let missing = board.missing();
+        assert_eq!(missing.len(), 128);
+        assert!(!missing.contains(&0) && !missing.contains(&129));
+    }
+
+    #[test]
+    fn completion_board_concurrent_claims_are_exclusive() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let board = CompletionBoard::new(1000);
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let board = &board;
+                let wins = &wins;
+                s.spawn(move || {
+                    for t in 0..1000 {
+                        if board.mark(t) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        // Every task claimed by exactly one thread.
+        assert_eq!(wins.load(Ordering::Relaxed), 1000);
+        assert_eq!(board.count_done(), 1000);
+        assert!(board.missing().is_empty());
     }
 }

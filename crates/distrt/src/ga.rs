@@ -11,11 +11,13 @@
 //! how real GA behaves inside a node; "remote" vs "local" is an accounting
 //! distinction, the one the paper's Tables VI/VII measure.
 
+use crate::fault::{FaultPlan, FaultState, GaError};
 use crate::grid::{block_owner, ProcessGrid};
 use crate::stats::CommStats;
-use obs::{EventKind, Recorder};
+use obs::{fault_code, EventKind, Recorder};
 use parking_lot::{Mutex, RwLock};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Distributed dense `nrows × ncols` matrix of f64.
 pub struct GlobalArray {
@@ -28,6 +30,9 @@ pub struct GlobalArray {
     /// Telemetry sink: every one-sided call is also emitted as a
     /// per-caller comm event (disabled recorder = one branch per call).
     rec: Recorder,
+    /// Fault injection, off by default. When set, every one-sided op
+    /// consults the plan before touching memory.
+    fault: Option<FaultState>,
 }
 
 impl GlobalArray {
@@ -51,6 +56,7 @@ impl GlobalArray {
             blocks,
             stats,
             rec: Recorder::disabled(),
+            fault: None,
         }
     }
 
@@ -60,6 +66,14 @@ impl GlobalArray {
     /// worker lane higher up the stack).
     pub fn attach_recorder(&mut self, rec: &Recorder) {
         self.rec = rec.clone();
+    }
+
+    /// Arm fault injection: subsequent one-sided ops roll the plan's
+    /// drop/delay probabilities (deterministically, per caller) before
+    /// touching memory. Use the `try_*` variants to observe failures;
+    /// the infallible `get`/`put`/`acc` panic if retries are exhausted.
+    pub fn inject_faults(&mut self, plan: Arc<FaultPlan>) {
+        self.fault = Some(FaultState::new(plan, self.grid.nprocs()));
     }
 
     /// Build from a dense row-major matrix (no communication recorded).
@@ -99,10 +113,27 @@ impl GlobalArray {
     }
 
     /// One-sided get of patch (`rows`, `cols`) into `out` (row-major
-    /// rows.len() × cols.len()), issued by process `caller`.
+    /// rows.len() × cols.len()), issued by process `caller`. Panics if
+    /// fault injection exhausts the retry budget — use [`Self::try_get`]
+    /// in fault-aware code.
     pub fn get(&self, caller: usize, rows: Range<usize>, cols: Range<usize>, out: &mut [f64]) {
+        self.try_get(caller, rows, cols, out)
+            .expect("one-sided get failed");
+    }
+
+    /// Fallible variant of [`Self::get`]: under fault injection a dropped
+    /// op is retried with backoff; `Err` means the retry budget ran out
+    /// (no data was transferred).
+    pub fn try_get(
+        &self,
+        caller: usize,
+        rows: Range<usize>,
+        cols: Range<usize>,
+        out: &mut [f64],
+    ) -> Result<(), GaError> {
         let w = cols.len();
         assert!(out.len() >= rows.len() * w, "output buffer too small");
+        self.op_gate("get", caller)?;
         self.for_each_block(
             caller,
             rows.clone(),
@@ -117,12 +148,27 @@ impl GlobalArray {
                 }
             },
         );
+        Ok(())
     }
 
     /// One-sided put of `data` (row-major rows.len() × cols.len()).
+    /// Panics if fault injection exhausts the retry budget.
     pub fn put(&self, caller: usize, rows: Range<usize>, cols: Range<usize>, data: &[f64]) {
+        self.try_put(caller, rows, cols, data)
+            .expect("one-sided put failed");
+    }
+
+    /// Fallible variant of [`Self::put`]; `Err` means nothing was written.
+    pub fn try_put(
+        &self,
+        caller: usize,
+        rows: Range<usize>,
+        cols: Range<usize>,
+        data: &[f64],
+    ) -> Result<(), GaError> {
         let w = cols.len();
         assert!(data.len() >= rows.len() * w, "input buffer too small");
+        self.op_gate("put", caller)?;
         self.for_each_block(
             caller,
             rows.clone(),
@@ -137,9 +183,11 @@ impl GlobalArray {
                 }
             },
         );
+        Ok(())
     }
 
-    /// One-sided atomic accumulate: patch += scale * data.
+    /// One-sided atomic accumulate: patch += scale * data. Panics if
+    /// fault injection exhausts the retry budget.
     pub fn acc(
         &self,
         caller: usize,
@@ -148,8 +196,25 @@ impl GlobalArray {
         data: &[f64],
         scale: f64,
     ) {
+        self.try_acc(caller, rows, cols, data, scale)
+            .expect("one-sided acc failed");
+    }
+
+    /// Fallible variant of [`Self::acc`]. The drop decision is made
+    /// *before* any memory is touched, so a failed attempt accumulates
+    /// nothing and retrying can never double-count — the invariant the
+    /// exactly-once Fock recovery relies on.
+    pub fn try_acc(
+        &self,
+        caller: usize,
+        rows: Range<usize>,
+        cols: Range<usize>,
+        data: &[f64],
+        scale: f64,
+    ) -> Result<(), GaError> {
         let w = cols.len();
         assert!(data.len() >= rows.len() * w, "input buffer too small");
+        self.op_gate("acc", caller)?;
         self.for_each_block(
             caller,
             rows.clone(),
@@ -166,6 +231,59 @@ impl GlobalArray {
                 }
             },
         );
+        Ok(())
+    }
+
+    /// Fault gate run once per public one-sided op, before any memory is
+    /// touched. Injected delays sleep; injected drops retry with growing
+    /// (capped) backoff — each attempt draws a fresh deterministic random
+    /// number — until the budget runs out, at which point the whole op
+    /// fails having transferred nothing.
+    fn op_gate(&self, op: &'static str, caller: usize) -> Result<(), GaError> {
+        let Some(fs) = &self.fault else {
+            return Ok(());
+        };
+        let plan = fs.plan();
+        if plan.drop_prob <= 0.0 && plan.delay_prob <= 0.0 {
+            return Ok(());
+        }
+        let mut attempts: u32 = 0;
+        loop {
+            attempts += 1;
+            let idx = fs.next_op(caller);
+            if plan.delays_op(caller, idx) {
+                self.rec.counter(obs::names::FAULT_INJECTED).add(1);
+                self.rec.side_event(
+                    caller,
+                    EventKind::Fault {
+                        code: fault_code::OP_DELAY,
+                        detail: attempts,
+                    },
+                );
+                std::thread::sleep(plan.delay);
+            }
+            if !plan.drops_op(caller, idx) {
+                return Ok(());
+            }
+            self.stats[caller].lock().retry_calls += 1;
+            self.rec.counter(obs::names::FAULT_INJECTED).add(1);
+            self.rec.counter(obs::names::GA_RETRIES).add(1);
+            self.rec.side_event(
+                caller,
+                EventKind::Fault {
+                    code: fault_code::OP_DROP,
+                    detail: attempts,
+                },
+            );
+            if attempts > plan.max_retries {
+                return Err(GaError {
+                    op,
+                    caller,
+                    attempts,
+                });
+            }
+            std::thread::sleep(plan.backoff * attempts.min(8));
+        }
     }
 
     /// Communication stats recorded for `rank` since the last reset.
@@ -173,18 +291,30 @@ impl GlobalArray {
         *self.stats[rank].lock()
     }
 
-    /// Sum of all processes' stats.
+    /// Sum of all processes' stats, as one consistent snapshot: all
+    /// per-rank locks are held simultaneously (acquired in rank order)
+    /// while summing. Since each one-sided op publishes its whole patch
+    /// delta under a single lock acquisition, the total observes every op
+    /// entirely or not at all — previously the locks were taken one at a
+    /// time, so a concurrent `reset_stats` (or a multi-rank op sequence)
+    /// could be half-counted.
     pub fn stats_total(&self) -> CommStats {
+        let guards: Vec<_> = self.stats.iter().map(|s| s.lock()).collect();
         let mut t = CommStats::default();
-        for s in &self.stats {
-            t.merge(&s.lock());
+        for g in &guards {
+            t.merge(g);
         }
         t
     }
 
+    /// Zero all per-rank stats atomically with respect to in-flight ops
+    /// and `stats_total`: same all-locks-in-rank-order protocol, so a
+    /// concurrent total never sees a partially reset fleet. Deadlock-free
+    /// because ops only ever hold one stats lock at a time.
     pub fn reset_stats(&self) {
-        for s in &self.stats {
-            *s.lock() = CommStats::default();
+        let mut guards: Vec<_> = self.stats.iter().map(|s| s.lock()).collect();
+        for g in guards.iter_mut() {
+            **g = CommStats::default();
         }
     }
 
@@ -417,7 +547,7 @@ mod tests {
         ga.attach_recorder(&rec);
         let mut out = vec![0.0; 36];
         ga.get(1, 2..8, 2..8, &mut out); // spans all 4 blocks
-        ga.acc(1, 0..2, 0..2, &vec![1.0; 4], 1.0); // 1 block
+        ga.acc(1, 0..2, 0..2, &[1.0; 4], 1.0); // 1 block
         let s = ga.stats(1);
         let r = rec.recording().expect("recording");
         let totals = &r.worker_totals()[1];
@@ -434,5 +564,97 @@ mod tests {
         let d = dense(5, 5);
         let ga = GlobalArray::from_dense(g, 5, 5, &d);
         assert_eq!(ga.to_dense(), d);
+    }
+
+    #[test]
+    fn dropped_accs_retry_to_exact_sum() {
+        // Aggressive drop rate, generous retry budget: every acc must
+        // still land exactly once (drop-before-apply + retry).
+        use crate::fault::FaultPlan;
+        let g = ProcessGrid::new(2, 2);
+        let mut ga = GlobalArray::zeros(g, 6, 6);
+        let plan = FaultPlan::new(99)
+            .drop_ops(0.5)
+            .retries(40, std::time::Duration::ZERO);
+        ga.inject_faults(Arc::new(plan));
+        let ones = vec![1.0; 36];
+        let reps = 40;
+        for r in 0..reps {
+            ga.try_acc(r % 4, 0..6, 0..6, &ones, 1.0).expect("acc");
+        }
+        let d = ga.to_dense();
+        assert!(d.iter().all(|&v| v == reps as f64));
+        assert!(ga.stats_total().retry_calls > 0, "no drops were rolled");
+    }
+
+    #[test]
+    fn exhausted_retries_fail_without_side_effects() {
+        use crate::fault::FaultPlan;
+        let g = ProcessGrid::new(1, 1);
+        let mut ga = GlobalArray::zeros(g, 4, 4);
+        // Certain-ish drop with zero retries: the op must fail and the
+        // array must be untouched.
+        let plan = FaultPlan::new(7)
+            .drop_ops(0.999_999)
+            .retries(0, std::time::Duration::ZERO);
+        ga.inject_faults(Arc::new(plan));
+        let ones = vec![1.0; 16];
+        let err = ga.try_acc(0, 0..4, 0..4, &ones, 1.0).unwrap_err();
+        assert_eq!(err.op, "acc");
+        assert!(ga.to_dense().iter().all(|&v| v == 0.0));
+        // Accounting: the failed op shows up only as retries.
+        let t = ga.stats_total();
+        assert_eq!(t.acc_calls, 0);
+        assert_eq!(t.retry_calls, 1);
+    }
+
+    #[test]
+    fn fault_free_plan_changes_nothing() {
+        use crate::fault::FaultPlan;
+        let g = ProcessGrid::new(2, 2);
+        let mut ga = GlobalArray::zeros(g, 4, 4);
+        ga.inject_faults(Arc::new(FaultPlan::new(1)));
+        let ones = vec![1.0; 16];
+        ga.try_acc(0, 0..4, 0..4, &ones, 2.0).expect("acc");
+        assert!(ga.to_dense().iter().all(|&v| v == 2.0));
+        assert_eq!(ga.stats_total().retry_calls, 0);
+    }
+
+    #[test]
+    fn stats_snapshot_consistent_with_concurrent_reset() {
+        // Hammer ops, totals and resets concurrently: every snapshot must
+        // be internally consistent (bytes = 32 × calls for these 4-element
+        // single-block accs), no deadlock, and a final quiescent total of
+        // zero after a last reset.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let g = ProcessGrid::new(1, 2);
+        let ga = std::sync::Arc::new(GlobalArray::zeros(g, 4, 4));
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let ga = ga.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    let ones = vec![1.0; 4];
+                    while !stop.load(Ordering::Relaxed) {
+                        ga.acc(t, 0..2, 0..2, &ones, 1.0);
+                    }
+                });
+            }
+            for i in 0..500 {
+                let snap = ga.stats_total();
+                assert_eq!(
+                    snap.acc_bytes,
+                    snap.acc_calls * 32,
+                    "torn snapshot at iteration {i}"
+                );
+                if i % 50 == 0 {
+                    ga.reset_stats();
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        ga.reset_stats();
+        assert_eq!(ga.stats_total().total_calls(), 0);
     }
 }

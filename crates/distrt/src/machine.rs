@@ -15,6 +15,10 @@ pub struct MachineParams {
     /// Serialization cost of one atomic access to a shared task counter
     /// (the centralized scheduler's bottleneck resource), seconds.
     pub atomic_op: f64,
+    /// Time a caller waits before declaring a one-sided op lost and
+    /// retrying, seconds. Only exercised under fault injection: each
+    /// dropped op charges one timeout on top of the eventual transfer.
+    pub op_timeout: f64,
 }
 
 impl MachineParams {
@@ -28,6 +32,7 @@ impl MachineParams {
             bandwidth: 5.0e9,
             latency: 2.0e-6,
             atomic_op: 3.0e-6,
+            op_timeout: 1.0e-4,
         }
     }
 

@@ -16,6 +16,9 @@ pub struct CommStats {
     /// Subset of the calls above whose target block was locally owned.
     pub local_calls: u64,
     pub local_bytes: u64,
+    /// Attempts repeated because fault injection dropped the op. Not
+    /// counted in `total_calls`: a dropped attempt never touched memory.
+    pub retry_calls: u64,
 }
 
 impl CommStats {
@@ -45,6 +48,7 @@ impl CommStats {
         self.acc_bytes += o.acc_bytes;
         self.local_calls += o.local_calls;
         self.local_bytes += o.local_bytes;
+        self.retry_calls += o.retry_calls;
     }
 }
 
@@ -63,6 +67,7 @@ mod tests {
             acc_bytes: 25,
             local_calls: 1,
             local_bytes: 10,
+            retry_calls: 2,
         };
         assert_eq!(a.total_calls(), 6);
         assert_eq!(a.total_bytes(), 175);
@@ -72,5 +77,6 @@ mod tests {
         b.merge(&a);
         assert_eq!(b.total_calls(), 12);
         assert_eq!(b.total_bytes(), 350);
+        assert_eq!(b.retry_calls, 4);
     }
 }

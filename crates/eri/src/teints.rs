@@ -625,7 +625,7 @@ mod tests {
         let mut out = Vec::new();
         let n = eng.quartet(dshell, sshell, dshell, sshell, &mut out);
         assert_eq!(n, 5 * 5); // na·nb·nc·nd = 5·1·5·1
-        // Diagonal (ii|ii) entries must be positive (Schwarz).
+                              // Diagonal (ii|ii) entries must be positive (Schwarz).
         for i in 0..5 {
             let idx = i * 5 + i;
             assert!(out[idx] > 0.0);

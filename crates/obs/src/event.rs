@@ -40,6 +40,25 @@ pub enum EventKind {
     WorkerStart,
     /// The worker's build loop finished (after its final flush).
     WorkerEnd,
+    /// An injected fault fired, or recovery reacted to one. `code` is a
+    /// [`fault_code`] constant; `detail` is code-specific (attempt number
+    /// for op drops, task count for requeues, ×1000 slowdown for
+    /// stragglers).
+    Fault { code: u32, detail: u32 },
+}
+
+/// `code` values carried by [`EventKind::Fault`].
+pub mod fault_code {
+    /// A rank died after its scheduled task count (`detail` = tasks done).
+    pub const RANK_DEATH: u32 = 0;
+    /// A straggler rank started (`detail` = slowdown × 1000).
+    pub const STRAGGLER: u32 = 1;
+    /// A one-sided op was dropped (`detail` = attempt number).
+    pub const OP_DROP: u32 = 2;
+    /// A one-sided op was delayed (`detail` = attempt number).
+    pub const OP_DELAY: u32 = 3;
+    /// Lost tasks were requeued for re-execution (`detail` = task count).
+    pub const TASK_REQUEUE: u32 = 4;
 }
 
 impl EventKind {
@@ -61,6 +80,7 @@ impl EventKind {
             EventKind::IterEnd { .. } => "iter_end",
             EventKind::WorkerStart => "worker_start",
             EventKind::WorkerEnd => "worker_end",
+            EventKind::Fault { .. } => "fault",
         }
     }
 
@@ -89,6 +109,9 @@ impl EventKind {
             | EventKind::CommAcc { bytes } => vec![("bytes", bytes as f64)],
             EventKind::IterStart { iter } | EventKind::IterEnd { iter } => {
                 vec![("iter", iter as f64)]
+            }
+            EventKind::Fault { code, detail } => {
+                vec![("code", code as f64), ("detail", detail as f64)]
             }
         }
     }
@@ -131,6 +154,7 @@ mod tests {
             EventKind::IterEnd { iter: 0 },
             EventKind::WorkerStart,
             EventKind::WorkerEnd,
+            EventKind::Fault { code: 0, detail: 0 },
         ];
         let names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
         let mut dedup = names.clone();

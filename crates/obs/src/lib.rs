@@ -31,7 +31,21 @@ pub mod metrics;
 pub mod recorder;
 pub mod timeline;
 
-pub use event::{Event, EventKind};
+/// Well-known metric names shared across crates, so producers (the GA
+/// layer, the schedulers) and consumers (reports, bench binaries) agree on
+/// spelling.
+pub mod names {
+    /// Counter: faults the injection layer actually fired (deaths,
+    /// straggles, op drops/delays).
+    pub const FAULT_INJECTED: &str = "fault.injected";
+    /// Counter: tasks requeued after being lost to a dead rank or a failed
+    /// flush.
+    pub const TASK_REQUEUED: &str = "task.requeued";
+    /// Counter: one-sided op attempts repeated after an injected drop.
+    pub const GA_RETRIES: &str = "ga.retries";
+}
+
+pub use event::{fault_code, Event, EventKind};
 pub use metrics::{Counter, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use recorder::{Recorder, WorkerRec};
 pub use timeline::{Recording, WorkerTotals};

@@ -91,6 +91,9 @@ pub struct WorkerTotals {
     /// Prefetch/flush volumes (the GTFock bulk transfers).
     pub prefetch_bytes: u64,
     pub flush_bytes: u64,
+    /// Injected faults observed by this worker (deaths, straggles, op
+    /// drops/delays, requeues — see `event::fault_code`).
+    pub faults: u64,
     /// Seconds spent inside tasks (sum of TaskEnd.t - TaskStart.t over
     /// matched pairs).
     pub busy_secs: f64,
@@ -149,6 +152,7 @@ impl WorkerTotals {
                 EventKind::IterStart { .. } | EventKind::IterEnd { .. } => {}
                 EventKind::WorkerStart => worker_start = Some(e.t),
                 EventKind::WorkerEnd => worker_end = Some(e.t),
+                EventKind::Fault { .. } => t.faults += 1,
             }
         }
         t.span_secs = match (worker_start, worker_end) {

@@ -51,7 +51,15 @@ fn main() {
         grid.prow, grid.pcol
     );
     let t0 = std::time::Instant::now();
-    let (g1, rep) = build_fock_gtfock(&prob, &d, GtfockConfig { grid, steal: true });
+    let (g1, rep) = build_fock_gtfock(
+        &prob,
+        &d,
+        GtfockConfig {
+            grid,
+            steal: true,
+            fault: None,
+        },
+    );
     println!("wall time: {:.3} s", t0.elapsed().as_secs_f64());
     println!("quartets computed: {}", rep.total_quartets());
     println!("load balance l = {:.3}", rep.load_balance());

@@ -63,7 +63,7 @@ fn conformance_on(prob: &FockProblem, seed: u64) {
     let d = test_density(prob.nbf(), seed);
     let (want, want_q) = build_g_seq(prob, &d);
     for b in all_builders() {
-        let out = b.build(prob, &d, &Recorder::disabled());
+        let out = b.build(prob, &d, &Recorder::disabled()).expect("build");
         let diff = max_diff(&want, &out.g);
         assert!(diff < 1e-10, "{}: G differs from seq by {diff}", b.name());
         assert_eq!(
@@ -118,7 +118,7 @@ fn recorded_events_are_views_over_reports() {
     let d = test_density(prob.nbf(), 7);
     for b in all_builders() {
         let rec = Recorder::enabled();
-        let out = b.build(&prob, &d, &rec);
+        let out = b.build(&prob, &d, &rec).expect("build");
         let recording = rec.recording().unwrap();
         let totals = recording.worker_totals();
         let recorded_q: u64 = totals.iter().map(|t| t.quartets).sum();
@@ -177,7 +177,7 @@ proptest! {
         ];
         for b in builders {
             let rec = Recorder::enabled();
-            let out = b.build(&prob, &d, &rec);
+            let out = b.build(&prob, &d, &rec).expect("build");
             let counter = rec.metrics_snapshot().counter(QUARTETS_COUNTER);
             prop_assert_eq!(counter, out.report.total_quartets(), "{}", b.name());
         }

@@ -47,7 +47,15 @@ fn all_builders_agree_on_benzene() {
         ProcessGrid::new(4, 2),
     ] {
         for steal in [false, true] {
-            let (g, rep) = build_fock_gtfock(&prob, &d, GtfockConfig { grid, steal });
+            let (g, rep) = build_fock_gtfock(
+                &prob,
+                &d,
+                GtfockConfig {
+                    grid,
+                    steal,
+                    fault: None,
+                },
+            );
             assert_eq!(
                 rep.total_quartets(),
                 ref_quartets,
@@ -87,6 +95,7 @@ fn builders_agree_with_heavy_screening() {
         GtfockConfig {
             grid: ProcessGrid::new(3, 3),
             steal: true,
+            fault: None,
         },
     );
     let (g2, r2) = build_fock_nwchem(

@@ -123,6 +123,7 @@ fn incremental_parallel_builders_agree_with_seq() {
             builder: gtfock_builder(GtfockConfig {
                 grid: ProcessGrid::new(2, 2),
                 steal: true,
+                fault: None,
             }),
             ..base.clone()
         },

@@ -77,6 +77,7 @@ fn water_full_pipeline_gtfock_builder() {
         .fock_builder(gtfock_builder(GtfockConfig {
             grid: ProcessGrid::new(2, 2),
             steal: true,
+            fault: None,
         }))
         .ordering(ShellOrdering::cells_default())
         .build();

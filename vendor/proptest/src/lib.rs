@@ -177,6 +177,7 @@ macro_rules! __proptest_items {
 #[macro_export]
 macro_rules! prop_assert {
     ($cond:expr) => {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !($cond) {
             return Err($crate::TestCaseError::fail(concat!(
                 "assertion failed: ",
@@ -185,6 +186,7 @@ macro_rules! prop_assert {
         }
     };
     ($cond:expr, $($fmt:tt)+) => {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !($cond) {
             return Err($crate::TestCaseError::fail(format!(
                 "assertion failed: {}: {}",
@@ -264,7 +266,7 @@ mod tests {
         #[test]
         fn macro_binds_multiple_args(a in 0usize..10, b in 0.0f64..1.0) {
             prop_assert!(a < 10);
-            prop_assert!(b >= 0.0 && b < 1.0, "b = {b}");
+            prop_assert!((0.0..1.0).contains(&b), "b = {b}");
             prop_assert_eq!(a, a);
         }
 
