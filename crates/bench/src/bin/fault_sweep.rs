@@ -18,16 +18,19 @@ use chem::shells::BasisInstance;
 use chem::{generators, BasisSetKind, Molecule};
 use distrt::{FaultPlan, MachineParams, ProcessGrid};
 use eri::CostModel;
-use fock_core::build::gtfock_builder;
-use fock_core::build::SchedulerOpts;
-use fock_core::scf::{run_scf, ScfConfig, ScfResult};
+use fock_core::build::{BuilderKind, SchedulerOpts};
+use fock_core::scf::{run_scf, ScfConfig, ScfError, ScfResult};
 use fock_core::sim_exec::{GtfockSimModel, StealConfig};
 use fock_core::tasks::FockProblem;
 use obs::Recorder;
 use std::sync::Arc;
 use std::time::Instant;
 
-fn scf(molecule: Molecule, grid: ProcessGrid, fault: Option<Arc<FaultPlan>>) -> ScfResult {
+fn scf(
+    molecule: Molecule,
+    grid: ProcessGrid,
+    fault: Option<Arc<FaultPlan>>,
+) -> Result<ScfResult, ScfError> {
     let mut opts = SchedulerOpts::with_grid(grid);
     if let Some(p) = fault {
         opts = opts.fault(p);
@@ -36,16 +39,15 @@ fn scf(molecule: Molecule, grid: ProcessGrid, fault: Option<Arc<FaultPlan>>) -> 
         molecule,
         BasisSetKind::Sto3g,
         ScfConfig::builder()
-            .fock_builder(gtfock_builder(opts.gtfock()))
+            .fock_builder(BuilderKind::Gtfock.build_shared(&opts))
             .ordering(ShellOrdering::cells_default())
             .diis(true)
             .e_tol(1e-10)
             .build(),
     )
-    .expect("scf")
 }
 
-fn main() {
+fn main() -> Result<(), ScfError> {
     let full = flag_full();
     banner(
         "Fault sweep: rank death vs energy, requeues, and time",
@@ -69,7 +71,7 @@ fn main() {
         let plan = (1..=k).fold(FaultPlan::new(42), |pl, r| pl.kill(r, 1));
         let fault = (k > 0).then(|| Arc::new(plan));
         let t = Instant::now();
-        let r = scf(molecule.clone(), grid, fault);
+        let r = scf(molecule.clone(), grid, fault)?;
         let dt = t.elapsed().as_secs_f64();
         if k == 0 {
             e0 = r.energy;
@@ -96,8 +98,8 @@ fn main() {
         1e-10,
         ShellOrdering::cells_default(),
     )
-    .unwrap();
-    let basis = BasisInstance::new(flake, BasisSetKind::Sto3g).unwrap();
+    .map_err(ScfError::Setup)?;
+    let basis = BasisInstance::new(flake, BasisSetKind::Sto3g).map_err(ScfError::Setup)?;
     let cost = CostModel::calibrate(&basis, 1);
     let model = GtfockSimModel::new(&prob, &cost);
     let machine = MachineParams::lonestar();
@@ -140,4 +142,5 @@ fn main() {
             r.tasks_requeued()
         );
     }
+    Ok(())
 }

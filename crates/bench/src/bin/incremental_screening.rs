@@ -25,7 +25,7 @@ use bench::{banner, flag_full};
 use chem::reorder::ShellOrdering;
 use chem::{generators, BasisSetKind};
 use fock_core::build::DENSITY_SKIPPED_COUNTER;
-use fock_core::scf::{run_scf, ScfConfig, ScfGuess, ScfResult};
+use fock_core::scf::{run_scf, ScfConfig, ScfError, ScfGuess, ScfResult};
 use obs::Recorder;
 use std::time::Instant;
 
@@ -38,7 +38,7 @@ fn opt_tau_default(default: f64) -> f64 {
         .unwrap_or(default)
 }
 
-fn run(carbons: usize, tau: f64, incremental: bool, rec: &Recorder) -> ScfResult {
+fn run(carbons: usize, tau: f64, incremental: bool, rec: &Recorder) -> Result<ScfResult, ScfError> {
     let t0 = Instant::now();
     let r = run_scf(
         generators::linear_alkane(carbons),
@@ -55,8 +55,7 @@ fn run(carbons: usize, tau: f64, incremental: bool, rec: &Recorder) -> ScfResult
             .ordering(ShellOrdering::cells_default())
             .recorder(rec.clone())
             .build(),
-    )
-    .expect("scf");
+    )?;
     eprintln!(
         "  {} run: E = {:.10} Ha, {} iterations (converged: {}) in {:.1}s",
         if incremental {
@@ -69,7 +68,7 @@ fn run(carbons: usize, tau: f64, incremental: bool, rec: &Recorder) -> ScfResult
         r.converged,
         t0.elapsed().as_secs_f64()
     );
-    r
+    Ok(r)
 }
 
 /// Total quartets over iterations 2..converged (iterations 0/1 still
@@ -78,7 +77,7 @@ fn tail_quartets(r: &ScfResult) -> u64 {
     r.reports.iter().skip(2).map(|x| x.total_quartets()).sum()
 }
 
-fn main() {
+fn main() -> Result<(), ScfError> {
     let full = flag_full();
     let tau = opt_tau_default(1e-13);
     let carbons = if full { 20 } else { 14 };
@@ -91,8 +90,8 @@ fn main() {
     println!();
 
     let rec = Recorder::enabled();
-    let base = run(carbons, tau, false, &Recorder::disabled());
-    let inc = run(carbons, tau, true, &rec);
+    let base = run(carbons, tau, false, &Recorder::disabled())?;
+    let inc = run(carbons, tau, true, &rec)?;
     println!();
 
     assert!(
@@ -139,4 +138,5 @@ fn main() {
             .metrics()
             .counter(DENSITY_SKIPPED_COUNTER)
     );
+    Ok(())
 }

@@ -1,0 +1,187 @@
+//! Multi-tenant SCF service benchmark: a heterogeneous stream of
+//! molecules submitted concurrently to one [`ScfService`], checked for
+//! exact agreement with serial references, with throughput and latency
+//! percentiles computed from the recorded job events.
+//!
+//! The stream mixes tiny jobs (He, H2) with larger ones (alkanes,
+//! cc-pVDZ methane) and repeats (molecule, basis) pairs so the shared
+//! setup cache gets exercised: repeated pairs must hit the cache, and
+//! every job's converged energy must match a serial `run_scf` of the
+//! same spec to ≤ 1e-10 Ha even though pool workers merge Fock blocks
+//! in nondeterministic order.
+//!
+//! Run with: `cargo run --release --bin service_bench`
+
+use chem::{generators, BasisSetKind, Molecule};
+use fock_core::scf::{run_scf, ScfConfig};
+use obs::{EventKind, Recorder};
+use scf_service::{JobSpec, ScfService, ServiceConfig};
+use std::collections::HashMap;
+
+const TOL: f64 = 1e-10;
+
+fn scf_cfg() -> ScfConfig {
+    ScfConfig::builder()
+        .diis(true)
+        .e_tol(1e-10)
+        .d_tol(1e-8)
+        .build()
+}
+
+/// The heterogeneous job stream: (label, molecule, basis). Water/STO-3G
+/// appears three times and shares a setup with the serial reference
+/// cache below, so the service must report cache hits.
+fn job_stream() -> Vec<(&'static str, Molecule, BasisSetKind)> {
+    vec![
+        ("water/sto3g#1", generators::water(), BasisSetKind::Sto3g),
+        (
+            "alkane3/sto3g",
+            generators::linear_alkane(3),
+            BasisSetKind::Sto3g,
+        ),
+        ("h2/ccpvdz", generators::hydrogen(1.4), BasisSetKind::CcPvdz),
+        ("water/sto3g#2", generators::water(), BasisSetKind::Sto3g),
+        ("helium/sto3g", generators::helium(), BasisSetKind::Sto3g),
+        ("methane/sto3g", generators::methane(), BasisSetKind::Sto3g),
+        (
+            "alkane5/sto3g",
+            generators::linear_alkane(5),
+            BasisSetKind::Sto3g,
+        ),
+        (
+            "water/631g",
+            generators::water(),
+            BasisSetKind::SixThirtyOneG,
+        ),
+        ("water/sto3g#3", generators::water(), BasisSetKind::Sto3g),
+    ]
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let jobs = job_stream();
+    println!(
+        "service_bench: {} concurrent heterogeneous jobs through one ScfService\n",
+        jobs.len()
+    );
+
+    // Serial references, one per distinct (molecule, basis) setup.
+    let mut reference: HashMap<u64, f64> = HashMap::new();
+    for (_, mol, basis) in &jobs {
+        let key = JobSpec::new(mol.clone(), *basis).scf(scf_cfg()).setup_key();
+        if let std::collections::hash_map::Entry::Vacant(slot) = reference.entry(key) {
+            let r = run_scf(mol.clone(), *basis, scf_cfg())?;
+            slot.insert(r.energy);
+        }
+    }
+
+    let rec = Recorder::enabled();
+    let svc = ScfService::new(ServiceConfig {
+        recorder: rec.clone(),
+        ..ServiceConfig::default()
+    });
+
+    let handles: Vec<_> = jobs
+        .iter()
+        .map(|(label, mol, basis)| {
+            let spec = JobSpec::new(mol.clone(), *basis)
+                .scf(scf_cfg())
+                .label(*label);
+            svc.submit(spec).expect("queue sized for the whole stream")
+        })
+        .collect();
+    svc.drain();
+
+    println!(
+        "{:<16} {:>16} {:>8} {:>6} {:>9} {:>9} {:>9} {:>9}",
+        "job", "energy (Ha)", "|dE|", "iters", "queue ms", "setup ms", "build ms", "total ms"
+    );
+    let mut failures = 0usize;
+    for (handle, (_, mol, basis)) in handles.iter().zip(&jobs) {
+        let r = handle.wait()?;
+        let key = JobSpec::new(mol.clone(), *basis).scf(scf_cfg()).setup_key();
+        let de = (r.energy - reference[&key]).abs();
+        let t = &r.timing;
+        println!(
+            "{:<16} {:>16.10} {:>8.1e} {:>6} {:>9.2} {:>9.2} {:>9.2} {:>9.2}{}",
+            r.label.as_deref().unwrap_or("?"),
+            r.energy,
+            de,
+            r.iterations,
+            t.queue_ns as f64 / 1e6,
+            t.setup_ns as f64 / 1e6,
+            t.build_ns as f64 / 1e6,
+            t.total_ns as f64 / 1e6,
+            if r.cache_hit { "  (cache hit)" } else { "" },
+        );
+        if !r.converged || de > TOL {
+            eprintln!(
+                "FAIL: {} converged={} |dE|={de:.3e} (tolerance {TOL:.0e})",
+                r.label.as_deref().unwrap_or("?"),
+                r.converged
+            );
+            failures += 1;
+        }
+    }
+
+    // Latency percentiles from the recorded job lifecycle events — the
+    // events are the ground truth, not ad-hoc stopwatch state.
+    let recording = rec.recording().expect("recorder was enabled");
+    let mut submit: HashMap<u32, f64> = HashMap::new();
+    let mut done: HashMap<u32, f64> = HashMap::new();
+    for ev in recording.all_events().iter().flatten() {
+        match ev.kind {
+            EventKind::JobSubmit { job } => {
+                submit.insert(job, ev.t);
+            }
+            EventKind::JobDone { job } => {
+                done.insert(job, ev.t);
+            }
+            _ => {}
+        }
+    }
+    let mut latencies: Vec<f64> = done
+        .iter()
+        .filter_map(|(job, &t1)| submit.get(job).map(|&t0| t1 - t0))
+        .collect();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    if latencies.len() != jobs.len() {
+        eprintln!(
+            "FAIL: expected {} submit/done event pairs, found {}",
+            jobs.len(),
+            latencies.len()
+        );
+        failures += 1;
+    }
+    let t0 = submit.values().cloned().fold(f64::INFINITY, f64::min);
+    let t1 = done.values().cloned().fold(0.0f64, f64::max);
+    println!("\nlatency (submit -> done), {} jobs:", latencies.len());
+    for p in [50.0, 95.0, 99.0] {
+        println!("  p{p:<4} {:>8.2} ms", percentile(&latencies, p) * 1e3);
+    }
+    println!(
+        "throughput: {:.2} jobs/s over {:.2} ms wall",
+        latencies.len() as f64 / (t1 - t0),
+        (t1 - t0) * 1e3
+    );
+    println!(
+        "setup cache: {} hits / {} misses",
+        svc.cache_hits(),
+        svc.cache_misses()
+    );
+    if svc.cache_hits() == 0 {
+        eprintln!("FAIL: repeated (molecule, basis) pairs produced no setup-cache hit");
+        failures += 1;
+    }
+
+    svc.shutdown();
+    if failures > 0 {
+        return Err(format!("{failures} check(s) failed").into());
+    }
+    println!("\nall jobs within {TOL:.0e} Ha of serial references");
+    Ok(())
+}

@@ -41,7 +41,9 @@ pub const DENSITY_SKIPPED_COUNTER: &str = "screen.skipped_density";
 pub const DMAX_HISTOGRAM: &str = "screen.dmax";
 
 /// Record one build's effective-density norm into [`DMAX_HISTOGRAM`].
-pub(crate) fn record_dmax(rec: &Recorder, dmax: f64) {
+/// Public so out-of-crate builders (e.g. the service worker pool) emit the
+/// same telemetry the in-crate builders do.
+pub fn record_dmax(rec: &Recorder, dmax: f64) {
     rec.histogram(DMAX_HISTOGRAM)
         .record((dmax.max(0.0) * 1e9) as u64);
 }
@@ -57,7 +59,8 @@ pub const QUARTET_NS_HISTOGRAM: &str = "eri.quartet_ns";
 /// Record the pair table's size into [`PAIRDATA_BYTES_COUNTER`]. The
 /// counter is monotonic, so only the first call per recorder registers
 /// (the table is built once per problem and reused across iterations).
-pub(crate) fn record_pairdata(rec: &Recorder, pairs: &eri::ShellPairData) {
+/// Public for the same reason as [`record_dmax`].
+pub fn record_pairdata(rec: &Recorder, pairs: &eri::ShellPairData) {
     if rec.is_enabled() {
         let c = rec.counter(PAIRDATA_BYTES_COUNTER);
         if c.get() == 0 {
@@ -436,16 +439,77 @@ impl From<SchedulerOpts> for StealConfig {
     }
 }
 
+/// The registry of Fock-build algorithms. This is the supported way to
+/// construct a builder: pick a kind (directly, or by name from a CLI flag
+/// via [`BuilderKind::parse`]) and instantiate it from shared
+/// [`SchedulerOpts`] with [`BuilderKind::build`] /
+/// [`BuilderKind::build_shared`]. Replaces the deprecated free-function
+/// constructors, which hard-wired one algorithm per call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuilderKind {
+    /// Sequential reference ([`SeqBuild`]).
+    Seq,
+    /// The paper's algorithm ([`GtfockBuild`]).
+    Gtfock,
+    /// NWChem-style centralized baseline ([`NwchemBuild`]).
+    Nwchem,
+}
+
+impl BuilderKind {
+    /// Every registered kind, in table order.
+    pub const ALL: [BuilderKind; 3] = [BuilderKind::Seq, BuilderKind::Gtfock, BuilderKind::Nwchem];
+
+    /// The stable name the built instance reports from [`FockBuild::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            BuilderKind::Seq => "seq",
+            BuilderKind::Gtfock => "gtfock",
+            BuilderKind::Nwchem => "nwchem",
+        }
+    }
+
+    /// Inverse of [`BuilderKind::name`] (for CLI flags).
+    pub fn parse(s: &str) -> Option<BuilderKind> {
+        BuilderKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Instantiate this kind from shared scheduler options. The sequential
+    /// reference ignores `opts`; the parallel builders take their grid,
+    /// steal, chunk, and fault settings from it.
+    pub fn build(self, opts: &SchedulerOpts) -> Box<dyn FockBuild + Send + Sync> {
+        match self {
+            BuilderKind::Seq => Box::new(SeqBuild),
+            BuilderKind::Gtfock => Box::new(GtfockBuild(opts.gtfock())),
+            BuilderKind::Nwchem => Box::new(NwchemBuild(opts.nwchem())),
+        }
+    }
+
+    /// [`BuilderKind::build`] in the shared-pointer form
+    /// [`crate::scf::ScfConfig`] stores.
+    pub fn build_shared(self, opts: &SchedulerOpts) -> Arc<dyn FockBuild + Send + Sync> {
+        Arc::from(self.build(opts))
+    }
+}
+
+impl std::fmt::Display for BuilderKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Convenience constructors producing the shared-pointer form the SCF
 /// configuration stores.
+#[deprecated(note = "use BuilderKind::Seq.build_shared(&SchedulerOpts::default())")]
 pub fn seq_builder() -> Arc<dyn FockBuild + Send + Sync> {
     Arc::new(SeqBuild)
 }
 
+#[deprecated(note = "use BuilderKind::Gtfock.build_shared(&opts) with SchedulerOpts")]
 pub fn gtfock_builder(cfg: GtfockConfig) -> Arc<dyn FockBuild + Send + Sync> {
     Arc::new(GtfockBuild(cfg))
 }
 
+#[deprecated(note = "use BuilderKind::Nwchem.build_shared(&opts) with SchedulerOpts")]
 pub fn nwchem_builder(cfg: NwchemConfig) -> Arc<dyn FockBuild + Send + Sync> {
     Arc::new(NwchemBuild(cfg))
 }
@@ -551,11 +615,23 @@ mod tests {
 
     #[test]
     fn builder_names_distinct() {
-        let names = [
-            seq_builder().name(),
-            gtfock_builder(GtfockConfig::default()).name(),
-            nwchem_builder(NwchemConfig::default()).name(),
-        ];
+        let opts = SchedulerOpts::default();
+        let names = BuilderKind::ALL.map(|k| k.build(&opts).name());
         assert_eq!(names, ["seq", "gtfock", "nwchem"]);
+        // Registry names round-trip through parse, and the enum's own
+        // names agree with what the built instances report.
+        for k in BuilderKind::ALL {
+            assert_eq!(BuilderKind::parse(k.name()), Some(k));
+            assert_eq!(k.name(), k.build_shared(&opts).name());
+        }
+        assert_eq!(BuilderKind::parse("des"), None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        assert_eq!(seq_builder().name(), "seq");
+        assert_eq!(gtfock_builder(GtfockConfig::default()).name(), "gtfock");
+        assert_eq!(nwchem_builder(NwchemConfig::default()).name(), "nwchem");
     }
 }

@@ -20,6 +20,9 @@
 //!   5-atom-quartet tasks, centralized dynamic scheduler (Algorithm 2),
 //! * [`scf`] — the Hartree-Fock SCF driver (Algorithm 1) with
 //!   diagonalization or purification,
+//! * [`session`] — the unified entry point: shareable per-basis setup
+//!   ([`session::PreparedScf`]) plus a stepwise SCF state machine
+//!   ([`session::ScfSession`]) the service layer drives job-by-job,
 //! * [`model`] — the performance model of Section III-G (equations 6–12),
 //! * [`sim_exec`] — discrete-event cluster-scale execution of both
 //!   algorithms, producing the timing/communication/load-balance data of
@@ -35,17 +38,21 @@ pub mod nwchem;
 pub mod partition;
 pub mod scf;
 pub mod seq;
+pub mod session;
 pub mod sim_exec;
 pub mod sink;
 pub mod tasks;
 
+#[allow(deprecated)]
+pub use build::{gtfock_builder, nwchem_builder, seq_builder};
 pub use build::{
-    gtfock_builder, nwchem_builder, seq_builder, BuildError, BuildOutcome, BuildReport, FockBuild,
-    SchedulerOpts, PAIRDATA_BYTES_COUNTER, QUARTETS_COUNTER, QUARTET_NS_HISTOGRAM,
+    BuildError, BuildOutcome, BuildReport, BuilderKind, FockBuild, SchedulerOpts,
+    PAIRDATA_BYTES_COUNTER, QUARTETS_COUNTER, QUARTET_NS_HISTOGRAM,
 };
 pub use gtfock::{
     build_fock_gtfock, build_fock_gtfock_rec, try_build_fock_gtfock_rec, GtfockConfig, GtfockReport,
 };
 pub use nwchem::{build_fock_nwchem, build_fock_nwchem_rec, NwchemConfig, NwchemReport};
 pub use scf::{ScfCheckpoint, ScfConfig, ScfConfigBuilder, ScfError, ScfResult};
+pub use session::{PreparedScf, ScfSession, ScfStep};
 pub use tasks::{CompletionBoard, FockProblem};

@@ -8,17 +8,17 @@
 //! G(D) = 2J(D) − K(D) so that F = H_core + G and
 //! E_elec = Σ_ij D_ij (H_ij + F_ij).
 
-use crate::build::{seq_builder, BuildError, BuildReport, FockBuild};
+use crate::build::{BuildError, BuildReport, FockBuild, SeqBuild};
 use crate::tasks::FockProblem;
 use chem::molecule::Molecule;
 use chem::reorder::ShellOrdering;
 use chem::BasisSetKind;
 use eri::oneints;
-use linalg::eig::{inverse_sqrt, sym_eig};
+use linalg::eig::sym_eig;
 use linalg::gemm::{gemm, gemm_nt, gemm_tn};
 use linalg::purify::purify_canonical;
 use linalg::Mat;
-use obs::{EventKind, Recorder};
+use obs::Recorder;
 use std::sync::Arc;
 
 /// How the density is obtained from F each iteration.
@@ -218,7 +218,7 @@ impl Default for ScfConfig {
             tau: 1e-11,
             ordering: ShellOrdering::Natural,
             guess: ScfGuess::Core,
-            builder: seq_builder(),
+            builder: Arc::new(SeqBuild),
             density: DensityMethod::Diagonalize,
             recorder: Recorder::disabled(),
             require_convergence: false,
@@ -351,8 +351,10 @@ pub struct ScfResult {
     /// density-skipped counts expose the iteration-over-iteration work
     /// decay of incremental runs.
     pub reports: Vec<BuildReport>,
-    /// The problem (basis + screening) the run used.
-    pub problem: FockProblem,
+    /// The problem (basis + screening) the run used. `Arc`-shared: runs
+    /// driven from a cached [`crate::session::PreparedScf`] alias the
+    /// preparation's problem instead of copying it.
+    pub problem: Arc<FockProblem>,
     /// The last checkpoint taken (None unless `checkpoint_every > 0`).
     /// Feed it back through [`ScfConfig::resume`] to continue the run.
     pub checkpoint: Option<ScfCheckpoint>,
@@ -388,198 +390,7 @@ pub fn run_scf(
     kind: BasisSetKind,
     cfg: ScfConfig,
 ) -> Result<ScfResult, ScfError> {
-    let nocc = molecule.nocc();
-    let e_nuc = molecule.nuclear_repulsion();
-    let prob = FockProblem::new(molecule, kind, cfg.tau, cfg.ordering).map_err(ScfError::Setup)?;
-    let nbf = prob.nbf();
-    if nocc > nbf {
-        return Err(ScfError::TooManyElectrons { nocc, nbf });
-    }
-
-    let s = Mat::from_vec(nbf, nbf, oneints::overlap_matrix(&prob.basis));
-    let h = Mat::from_vec(nbf, nbf, oneints::core_hamiltonian(&prob.basis));
-    let x = inverse_sqrt(&s, 1e-10);
-    let mut diis = crate::diis::Diis::new(8);
-
-    let mut fock = h.clone();
-    let mut g_prev = Mat::zeros(nbf, nbf);
-    let mut d_prev = Mat::zeros(nbf, nbf);
-    let mut e_prev = f64::INFINITY;
-    let mut history = Vec::new();
-    let mut start_iter = 0;
-    let mut d = if let Some(cp) = &cfg.resume {
-        g_prev = cp.g_prev.clone();
-        d_prev = cp.d_prev.clone();
-        fock = cp.fock.clone();
-        e_prev = cp.e_prev;
-        history = cp.history.clone();
-        diis = cp.diis.clone();
-        start_iter = cp.iter;
-        cp.d.clone()
-    } else {
-        let f0 = match cfg.guess {
-            ScfGuess::Core => h.clone(),
-            ScfGuess::Gwh => {
-                let mut f = Mat::zeros(nbf, nbf);
-                for i in 0..nbf {
-                    for j in 0..nbf {
-                        f[(i, j)] = if i == j {
-                            h[(i, i)]
-                        } else {
-                            0.5 * 1.75 * (h[(i, i)] + h[(j, j)]) * s[(i, j)]
-                        };
-                    }
-                }
-                f
-            }
-        };
-        density_from_fock(&f0, &x, nocc, cfg.density)
-    };
-    let mut converged = false;
-    let mut iterations = 0;
-    let mut reports = Vec::new();
-    let mut last_checkpoint: Option<ScfCheckpoint> = None;
-    // Degraded mode: after a checkpoint restore, stay on full builds (the
-    // accumulated G of the incremental scheme is no longer trusted) and
-    // never restore a second time.
-    let mut restored_once = false;
-    let mut forced_full = false;
-
-    for it in start_iter..start_iter + cfg.max_iter {
-        iterations = it - start_iter + 1;
-        if cfg.recorder.is_enabled() {
-            cfg.recorder
-                .side_event(0, EventKind::IterStart { iter: it as u32 });
-        }
-        // Periodic full rebuilds re-base the accumulated G so per-ΔD-build
-        // screening errors cannot pile up across the whole run.
-        let full_build = forced_full
-            || !cfg.incremental
-            || it == start_iter
-            || (cfg.rebuild_every > 0 && it.is_multiple_of(cfg.rebuild_every));
-        let g_result: Result<Mat, BuildError> = if full_build {
-            build_g(&prob, &d, &cfg).map(|(g, report)| {
-                reports.push(report);
-                g
-            })
-        } else {
-            // G(D) = G(D_prev) + G(D - D_prev).
-            let mut delta = d.clone();
-            delta.axpy(-1.0, &d_prev);
-            match build_g(&prob, &delta, &cfg) {
-                Ok((mut g, report)) => {
-                    reports.push(report);
-                    g.axpy(1.0, &g_prev);
-                    Ok(g)
-                }
-                // The ΔD contribution was lost mid-flight: re-base by
-                // rebuilding from the full density instead.
-                Err(_) => build_g(&prob, &d, &cfg).map(|(g, report)| {
-                    reports.push(report);
-                    g
-                }),
-            }
-        };
-        let g = match g_result {
-            Ok(g) => g,
-            Err(e) => match last_checkpoint.clone() {
-                Some(cp) if !restored_once => {
-                    restored_once = true;
-                    forced_full = true;
-                    d = cp.d;
-                    g_prev = cp.g_prev;
-                    d_prev = cp.d_prev;
-                    fock = cp.fock;
-                    e_prev = cp.e_prev;
-                    history = cp.history;
-                    diis = cp.diis;
-                    continue;
-                }
-                _ => return Err(ScfError::Build(e)),
-            },
-        };
-        if cfg.incremental {
-            g_prev = g.clone();
-            d_prev = d.clone();
-        }
-        fock = h.clone();
-        fock.axpy(1.0, &g);
-
-        // E_elec = Σ D (H + F).
-        let mut e_elec = 0.0;
-        for (dij, (hij, fij)) in d
-            .as_slice()
-            .iter()
-            .zip(h.as_slice().iter().zip(fock.as_slice()))
-        {
-            e_elec += dij * (hij + fij);
-        }
-        let energy = e_elec + e_nuc;
-        history.push(energy);
-
-        let mut f_for_density = if cfg.use_diis {
-            diis.extrapolate(&fock, &d, &s)
-        } else {
-            fock.clone()
-        };
-        if cfg.level_shift != 0.0 {
-            // Shift virtual orbitals up: F ← F + λ(S − S·D·S); identity
-            // on the occupied space is (approximately) S·D·S for the
-            // current density.
-            let sds = gemm(1.0, &gemm(1.0, &s, &d, 0.0, None), &s, 0.0, None);
-            let mut shift = s.clone();
-            shift.axpy(-1.0, &sds);
-            f_for_density.axpy(cfg.level_shift, &shift);
-        }
-        let mut d_new = density_from_fock(&f_for_density, &x, nocc, cfg.density);
-        if cfg.damping > 0.0 {
-            d_new.scale(1.0 - cfg.damping);
-            d_new.axpy(cfg.damping, &d);
-        }
-        let d_change = d_new.max_abs_diff(&d);
-        let e_change = (energy - e_prev).abs();
-        d = d_new;
-        e_prev = energy;
-        if cfg.checkpoint_every > 0 && iterations.is_multiple_of(cfg.checkpoint_every) {
-            last_checkpoint = Some(ScfCheckpoint {
-                iter: it + 1,
-                d: d.clone(),
-                g_prev: g_prev.clone(),
-                d_prev: d_prev.clone(),
-                fock: fock.clone(),
-                e_prev,
-                history: history.clone(),
-                diis: diis.clone(),
-            });
-        }
-        if cfg.recorder.is_enabled() {
-            cfg.recorder
-                .side_event(0, EventKind::IterEnd { iter: it as u32 });
-        }
-        if e_change < cfg.e_tol && d_change < cfg.d_tol {
-            converged = true;
-            break;
-        }
-    }
-
-    if !converged && cfg.require_convergence {
-        return Err(ScfError::NotConverged {
-            iterations,
-            energy: e_prev,
-            history,
-        });
-    }
-    Ok(ScfResult {
-        energy: e_prev,
-        converged,
-        iterations,
-        history,
-        fock,
-        density: d,
-        reports,
-        problem: prob,
-        checkpoint: last_checkpoint,
-    })
+    crate::session::ScfSession::new(molecule, kind, cfg)?.run()
 }
 
 /// One density step: F' = XᵀFX → D' (eig or purification) → D = X D' Xᵀ.
@@ -608,17 +419,12 @@ pub fn density_from_fock(f: &Mat, x: &Mat, nocc: usize, method: DensityMethod) -
     )
 }
 
-fn build_g(prob: &FockProblem, d: &Mat, cfg: &ScfConfig) -> Result<(Mat, BuildReport), BuildError> {
-    let nbf = prob.nbf();
-    let out = cfg.builder.build(prob, d.as_slice(), &cfg.recorder)?;
-    Ok((Mat::from_vec(nbf, nbf, out.g), out.report))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use chem::generators;
     use distrt::ProcessGrid;
+    use obs::EventKind;
 
     #[test]
     fn h2_sto3g_energy_matches_szabo() {
@@ -707,9 +513,7 @@ mod tests {
 
     #[test]
     fn parallel_builders_agree_with_seq() {
-        use crate::build::{gtfock_builder, nwchem_builder};
-        use crate::gtfock::GtfockConfig;
-        use crate::nwchem::NwchemConfig;
+        use crate::build::{BuilderKind, SchedulerOpts};
         let base = ScfConfig {
             max_iter: 12,
             ..ScfConfig::default()
@@ -719,11 +523,8 @@ mod tests {
             generators::water(),
             BasisSetKind::Sto3g,
             ScfConfig {
-                builder: gtfock_builder(GtfockConfig {
-                    grid: ProcessGrid::new(2, 2),
-                    steal: true,
-                    fault: None,
-                }),
+                builder: BuilderKind::Gtfock
+                    .build_shared(&SchedulerOpts::with_grid(ProcessGrid::new(2, 2))),
                 ordering: ShellOrdering::cells_default(),
                 ..base.clone()
             },
@@ -733,10 +534,7 @@ mod tests {
             generators::water(),
             BasisSetKind::Sto3g,
             ScfConfig {
-                builder: nwchem_builder(NwchemConfig {
-                    nprocs: 2,
-                    chunk: 5,
-                }),
+                builder: BuilderKind::Nwchem.build_shared(&SchedulerOpts::with_nprocs(2).chunk(5)),
                 ..base
             },
         )

@@ -1,0 +1,552 @@
+//! The unified SCF session: shareable setup plus a stepwise driver.
+//!
+//! Historically the crate's entry point was the free function
+//! [`run_scf`](crate::scf::run_scf), which fused three separable stages —
+//! per-(molecule, basis) setup, the initial guess, and the iteration loop
+//! — into one call. The multi-tenant service layer needs those stages
+//! apart: setup is the expensive shareable part (screening tables, pair
+//! data, S/H/X, the GWH seed Fock), while the loop is cheap per-iteration
+//! state a scheduler wants to drive and time step by step.
+//!
+//! * [`PreparedScf`] owns everything derived from (molecule, basis,
+//!   τ, ordering) alone, behind `Arc`-friendly storage so many concurrent
+//!   jobs on the same key pay setup once.
+//! * [`ScfSession`] is the stateful driver: construct one per job, call
+//!   [`ScfSession::step`] to advance a single iteration (the service uses
+//!   this for per-iteration latency accounting and status updates), or
+//!   [`ScfSession::run`] to drive to convergence. `run_scf` is now a thin
+//!   wrapper over a session and behaves exactly as before.
+
+use crate::build::{BuildError, BuildReport};
+use crate::diis::Diis;
+use crate::scf::{
+    density_from_fock, DensityMethod, ScfCheckpoint, ScfConfig, ScfError, ScfGuess, ScfResult,
+};
+use crate::tasks::FockProblem;
+use chem::molecule::Molecule;
+use chem::reorder::ShellOrdering;
+use chem::BasisSetKind;
+use eri::oneints;
+use linalg::eig::inverse_sqrt;
+use linalg::gemm::gemm;
+use linalg::Mat;
+use obs::EventKind;
+use std::sync::{Arc, OnceLock};
+
+/// Everything an SCF run derives from (molecule, basis, τ, ordering)
+/// before seeing a density: the [`FockProblem`] (screening + shared pair
+/// tables), the one-electron matrices S and H_core, the orthogonalizer
+/// X = S^{−1/2}, and a lazily built GWH seed Fock. Wrap in `Arc` and share
+/// across sessions — nothing here depends on per-run configuration.
+pub struct PreparedScf {
+    /// The problem (basis + screening + pair tables), already shareable.
+    pub problem: Arc<FockProblem>,
+    /// Occupied-orbital count of the closed-shell determinant.
+    pub nocc: usize,
+    /// Nuclear repulsion energy, hartree.
+    pub e_nuc: f64,
+    /// Overlap matrix S.
+    pub s: Mat,
+    /// Core Hamiltonian H.
+    pub h: Mat,
+    /// X = S^{−1/2}.
+    pub x: Mat,
+    /// GWH seed Fock, built on first request and reused by every session.
+    gwh: OnceLock<Mat>,
+}
+
+impl PreparedScf {
+    /// Run the setup stage: instantiate the basis, apply the ordering,
+    /// compute screening at `tau`, and assemble S, H and X.
+    ///
+    /// Error order matches the historical `run_scf`: a setup failure
+    /// surfaces before the electron-count check.
+    pub fn new(
+        molecule: Molecule,
+        kind: BasisSetKind,
+        tau: f64,
+        ordering: ShellOrdering,
+    ) -> Result<PreparedScf, ScfError> {
+        let nocc = molecule.nocc();
+        let e_nuc = molecule.nuclear_repulsion();
+        let prob = FockProblem::new(molecule, kind, tau, ordering).map_err(ScfError::Setup)?;
+        let nbf = prob.nbf();
+        if nocc > nbf {
+            return Err(ScfError::TooManyElectrons { nocc, nbf });
+        }
+        let s = Mat::from_vec(nbf, nbf, oneints::overlap_matrix(&prob.basis));
+        let h = Mat::from_vec(nbf, nbf, oneints::core_hamiltonian(&prob.basis));
+        let x = inverse_sqrt(&s, 1e-10);
+        Ok(PreparedScf {
+            problem: Arc::new(prob),
+            nocc,
+            e_nuc,
+            s,
+            h,
+            x,
+            gwh: OnceLock::new(),
+        })
+    }
+
+    /// Setup for the given config (τ and ordering are the only config
+    /// fields setup depends on — the cache key hashes exactly these).
+    pub fn for_config(
+        molecule: Molecule,
+        kind: BasisSetKind,
+        cfg: &ScfConfig,
+    ) -> Result<PreparedScf, ScfError> {
+        PreparedScf::new(molecule, kind, cfg.tau, cfg.ordering)
+    }
+
+    #[inline]
+    pub fn nbf(&self) -> usize {
+        self.problem.nbf()
+    }
+
+    /// The GWH seed Fock F⁰_ij = ½·1.75·(H_ii + H_jj)·S_ij (diagonal kept
+    /// at H_ii), built once and shared by every session on this setup.
+    pub fn gwh_fock(&self) -> &Mat {
+        self.gwh.get_or_init(|| {
+            let nbf = self.nbf();
+            let mut f = Mat::zeros(nbf, nbf);
+            for i in 0..nbf {
+                for j in 0..nbf {
+                    f[(i, j)] = if i == j {
+                        self.h[(i, i)]
+                    } else {
+                        0.5 * 1.75 * (self.h[(i, i)] + self.h[(j, j)]) * self.s[(i, j)]
+                    };
+                }
+            }
+            f
+        })
+    }
+
+    /// Force the lazily built shared tables (pair data, GWH Fock) to
+    /// exist now, so a setup cache can account their cost to the first
+    /// request instead of a random later build.
+    pub fn warm(&self) -> &PreparedScf {
+        let _ = self.problem.pairs();
+        let _ = self.gwh_fock();
+        self
+    }
+
+    /// Initial density for `guess` under `method`.
+    pub fn guess_density(&self, guess: ScfGuess, method: DensityMethod) -> Mat {
+        let f0 = match guess {
+            ScfGuess::Core => self.h.clone(),
+            ScfGuess::Gwh => self.gwh_fock().clone(),
+        };
+        density_from_fock(&f0, &self.x, self.nocc, method)
+    }
+}
+
+/// What one [`ScfSession::step`] call did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScfStep {
+    /// Iteration `iter` ran; the loop has not converged yet.
+    Continue { iter: usize, energy: f64 },
+    /// The convergence test passed this iteration (or a previous one).
+    Converged { energy: f64 },
+    /// The iteration budget is spent without convergence. Call
+    /// [`ScfSession::finish`] to get the unconverged result (or the
+    /// `NotConverged` error under `require_convergence`).
+    Exhausted,
+}
+
+/// A stateful SCF run: the iteration loop of the historical `run_scf`,
+/// reified so callers can drive it one iteration at a time.
+///
+/// Degraded-mode semantics are identical to `run_scf`: an incremental
+/// (ΔD) build failure re-bases with a full rebuild; a full-build failure
+/// restores the last checkpoint (once, consuming the iteration) and
+/// continues with incremental builds disabled, before finally surfacing
+/// [`ScfError::Build`].
+pub struct ScfSession {
+    prep: Arc<PreparedScf>,
+    cfg: ScfConfig,
+    d: Mat,
+    g_prev: Mat,
+    d_prev: Mat,
+    fock: Mat,
+    e_prev: f64,
+    history: Vec<f64>,
+    diis: Diis,
+    start_iter: usize,
+    /// Absolute index of the next iteration to run.
+    it: usize,
+    iterations: usize,
+    converged: bool,
+    reports: Vec<BuildReport>,
+    last_checkpoint: Option<ScfCheckpoint>,
+    restored_once: bool,
+    forced_full: bool,
+}
+
+impl ScfSession {
+    /// Set up and start a session (setup + guess; no iterations yet).
+    pub fn new(
+        molecule: Molecule,
+        kind: BasisSetKind,
+        cfg: ScfConfig,
+    ) -> Result<ScfSession, ScfError> {
+        let prep = Arc::new(PreparedScf::for_config(molecule, kind, &cfg)?);
+        Ok(ScfSession::with_prepared(prep, cfg))
+    }
+
+    /// Start a session on an already-prepared (possibly cached and
+    /// shared) setup. `cfg.tau` / `cfg.ordering` are assumed to match the
+    /// preparation; the service's setup cache keys on exactly those.
+    pub fn with_prepared(prep: Arc<PreparedScf>, cfg: ScfConfig) -> ScfSession {
+        let nbf = prep.nbf();
+        let mut fock = prep.h.clone();
+        let mut g_prev = Mat::zeros(nbf, nbf);
+        let mut d_prev = Mat::zeros(nbf, nbf);
+        let mut e_prev = f64::INFINITY;
+        let mut history = Vec::new();
+        let mut diis = Diis::new(8);
+        let mut start_iter = 0;
+        let d = if let Some(cp) = &cfg.resume {
+            g_prev = cp.g_prev.clone();
+            d_prev = cp.d_prev.clone();
+            fock = cp.fock.clone();
+            e_prev = cp.e_prev;
+            history = cp.history.clone();
+            diis = cp.diis.clone();
+            start_iter = cp.iter;
+            cp.d.clone()
+        } else {
+            prep.guess_density(cfg.guess, cfg.density)
+        };
+        ScfSession {
+            prep,
+            cfg,
+            d,
+            g_prev,
+            d_prev,
+            fock,
+            e_prev,
+            history,
+            diis,
+            start_iter,
+            it: start_iter,
+            iterations: 0,
+            converged: false,
+            reports: Vec::new(),
+            last_checkpoint: None,
+            restored_once: false,
+            forced_full: false,
+        }
+    }
+
+    /// The shared setup this session runs on.
+    pub fn prepared(&self) -> &Arc<PreparedScf> {
+        &self.prep
+    }
+
+    /// Iterations run so far (counting from the start of *this* session;
+    /// resumed iterations are not re-counted).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Energy after the last completed iteration (+∞ before the first).
+    pub fn energy(&self) -> f64 {
+        self.e_prev
+    }
+
+    /// Run one SCF iteration: build G (full or ΔD), assemble F, compute
+    /// the energy, extrapolate/stabilize, and form the next density.
+    pub fn step(&mut self) -> Result<ScfStep, ScfError> {
+        if self.converged {
+            return Ok(ScfStep::Converged {
+                energy: self.e_prev,
+            });
+        }
+        if self.it >= self.start_iter + self.cfg.max_iter {
+            return Ok(ScfStep::Exhausted);
+        }
+        let it = self.it;
+        self.iterations = it - self.start_iter + 1;
+        if self.cfg.recorder.is_enabled() {
+            self.cfg
+                .recorder
+                .side_event(0, EventKind::IterStart { iter: it as u32 });
+        }
+        // Periodic full rebuilds re-base the accumulated G so per-ΔD-build
+        // screening errors cannot pile up across the whole run.
+        let full_build = self.forced_full
+            || !self.cfg.incremental
+            || it == self.start_iter
+            || (self.cfg.rebuild_every > 0 && it.is_multiple_of(self.cfg.rebuild_every));
+        let g_result: Result<Mat, BuildError> = if full_build {
+            build_g(&self.prep, &self.cfg, &self.d).map(|(g, report)| {
+                self.reports.push(report);
+                g
+            })
+        } else {
+            // G(D) = G(D_prev) + G(D - D_prev).
+            let mut delta = self.d.clone();
+            delta.axpy(-1.0, &self.d_prev);
+            match build_g(&self.prep, &self.cfg, &delta) {
+                Ok((mut g, report)) => {
+                    self.reports.push(report);
+                    g.axpy(1.0, &self.g_prev);
+                    Ok(g)
+                }
+                // The ΔD contribution was lost mid-flight: re-base by
+                // rebuilding from the full density instead.
+                Err(_) => build_g(&self.prep, &self.cfg, &self.d).map(|(g, report)| {
+                    self.reports.push(report);
+                    g
+                }),
+            }
+        };
+        let g = match g_result {
+            Ok(g) => g,
+            Err(e) => match self.last_checkpoint.clone() {
+                Some(cp) if !self.restored_once => {
+                    self.restored_once = true;
+                    self.forced_full = true;
+                    self.d = cp.d;
+                    self.g_prev = cp.g_prev;
+                    self.d_prev = cp.d_prev;
+                    self.fock = cp.fock;
+                    self.e_prev = cp.e_prev;
+                    self.history = cp.history;
+                    self.diis = cp.diis;
+                    // The restore consumes this iteration slot, exactly
+                    // like the historical loop's `continue`.
+                    self.it += 1;
+                    return Ok(ScfStep::Continue {
+                        iter: it,
+                        energy: self.e_prev,
+                    });
+                }
+                _ => return Err(ScfError::Build(e)),
+            },
+        };
+        if self.cfg.incremental {
+            self.g_prev = g.clone();
+            self.d_prev = self.d.clone();
+        }
+        self.fock = self.prep.h.clone();
+        self.fock.axpy(1.0, &g);
+
+        // E_elec = Σ D (H + F).
+        let mut e_elec = 0.0;
+        for (dij, (hij, fij)) in self
+            .d
+            .as_slice()
+            .iter()
+            .zip(self.prep.h.as_slice().iter().zip(self.fock.as_slice()))
+        {
+            e_elec += dij * (hij + fij);
+        }
+        let energy = e_elec + self.prep.e_nuc;
+        self.history.push(energy);
+
+        let mut f_for_density = if self.cfg.use_diis {
+            self.diis.extrapolate(&self.fock, &self.d, &self.prep.s)
+        } else {
+            self.fock.clone()
+        };
+        if self.cfg.level_shift != 0.0 {
+            // Shift virtual orbitals up: F ← F + λ(S − S·D·S); identity
+            // on the occupied space is (approximately) S·D·S for the
+            // current density.
+            let sds = gemm(
+                1.0,
+                &gemm(1.0, &self.prep.s, &self.d, 0.0, None),
+                &self.prep.s,
+                0.0,
+                None,
+            );
+            let mut shift = self.prep.s.clone();
+            shift.axpy(-1.0, &sds);
+            f_for_density.axpy(self.cfg.level_shift, &shift);
+        }
+        let mut d_new = density_from_fock(
+            &f_for_density,
+            &self.prep.x,
+            self.prep.nocc,
+            self.cfg.density,
+        );
+        if self.cfg.damping > 0.0 {
+            d_new.scale(1.0 - self.cfg.damping);
+            d_new.axpy(self.cfg.damping, &self.d);
+        }
+        let d_change = d_new.max_abs_diff(&self.d);
+        let e_change = (energy - self.e_prev).abs();
+        self.d = d_new;
+        self.e_prev = energy;
+        if self.cfg.checkpoint_every > 0
+            && self.iterations.is_multiple_of(self.cfg.checkpoint_every)
+        {
+            self.last_checkpoint = Some(ScfCheckpoint {
+                iter: it + 1,
+                d: self.d.clone(),
+                g_prev: self.g_prev.clone(),
+                d_prev: self.d_prev.clone(),
+                fock: self.fock.clone(),
+                e_prev: self.e_prev,
+                history: self.history.clone(),
+                diis: self.diis.clone(),
+            });
+        }
+        if self.cfg.recorder.is_enabled() {
+            self.cfg
+                .recorder
+                .side_event(0, EventKind::IterEnd { iter: it as u32 });
+        }
+        self.it += 1;
+        if e_change < self.cfg.e_tol && d_change < self.cfg.d_tol {
+            self.converged = true;
+            return Ok(ScfStep::Converged { energy });
+        }
+        Ok(ScfStep::Continue { iter: it, energy })
+    }
+
+    /// Drive [`step`](Self::step) until convergence or exhaustion, then
+    /// [`finish`](Self::finish).
+    pub fn run(mut self) -> Result<ScfResult, ScfError> {
+        while let ScfStep::Continue { .. } = self.step()? {}
+        self.finish()
+    }
+
+    /// Consume the session into an [`ScfResult`]. Under
+    /// `require_convergence` an unconverged session is an error, exactly
+    /// like the historical `run_scf`.
+    pub fn finish(self) -> Result<ScfResult, ScfError> {
+        if !self.converged && self.cfg.require_convergence {
+            return Err(ScfError::NotConverged {
+                iterations: self.iterations,
+                energy: self.e_prev,
+                history: self.history,
+            });
+        }
+        Ok(ScfResult {
+            energy: self.e_prev,
+            converged: self.converged,
+            iterations: self.iterations,
+            history: self.history,
+            fock: self.fock,
+            density: self.d,
+            reports: self.reports,
+            problem: Arc::clone(&self.prep.problem),
+            checkpoint: self.last_checkpoint,
+        })
+    }
+}
+
+fn build_g(prep: &PreparedScf, cfg: &ScfConfig, d: &Mat) -> Result<(Mat, BuildReport), BuildError> {
+    let nbf = prep.nbf();
+    let out = cfg
+        .builder
+        .build(&prep.problem, d.as_slice(), &cfg.recorder)?;
+    Ok((Mat::from_vec(nbf, nbf, out.g), out.report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chem::generators;
+
+    #[test]
+    fn stepwise_session_matches_run_scf() {
+        let want = crate::scf::run_scf(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            ScfConfig::default(),
+        )
+        .unwrap();
+        let mut sess = ScfSession::new(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            ScfConfig::default(),
+        )
+        .unwrap();
+        let mut steps = 0;
+        loop {
+            match sess.step().unwrap() {
+                ScfStep::Continue { .. } => steps += 1,
+                ScfStep::Converged { .. } => {
+                    steps += 1;
+                    break;
+                }
+                ScfStep::Exhausted => break,
+            }
+        }
+        let got = sess.finish().unwrap();
+        assert!(got.converged);
+        assert_eq!(steps, got.iterations);
+        assert_eq!(got.iterations, want.iterations);
+        assert_eq!(got.energy, want.energy, "stepwise energy must be bitwise");
+        assert_eq!(got.history, want.history);
+    }
+
+    #[test]
+    fn shared_preparation_reused_across_sessions() {
+        let prep = Arc::new(
+            PreparedScf::new(
+                generators::hydrogen(1.4),
+                BasisSetKind::Sto3g,
+                1e-11,
+                ShellOrdering::Natural,
+            )
+            .unwrap(),
+        );
+        prep.warm();
+        let a = ScfSession::with_prepared(Arc::clone(&prep), ScfConfig::default())
+            .run()
+            .unwrap();
+        let b = ScfSession::with_prepared(Arc::clone(&prep), ScfConfig::default())
+            .run()
+            .unwrap();
+        assert!(a.converged && b.converged);
+        assert_eq!(a.energy, b.energy);
+        // Both results alias the shared problem rather than copying it.
+        assert!(Arc::ptr_eq(&a.problem, &prep.problem));
+        assert!(Arc::ptr_eq(&b.problem, &prep.problem));
+    }
+
+    #[test]
+    fn gwh_seed_is_shared_and_correct() {
+        let prep = PreparedScf::new(
+            generators::water(),
+            BasisSetKind::Sto3g,
+            1e-11,
+            ShellOrdering::Natural,
+        )
+        .unwrap();
+        let f = prep.gwh_fock();
+        let nbf = prep.nbf();
+        for i in 0..nbf {
+            assert_eq!(f[(i, i)], prep.h[(i, i)]);
+            for j in 0..nbf {
+                if i != j {
+                    let want = 0.5 * 1.75 * (prep.h[(i, i)] + prep.h[(j, j)]) * prep.s[(i, j)];
+                    assert_eq!(f[(i, j)], want);
+                }
+            }
+        }
+        // Second call returns the same cached matrix.
+        assert!(std::ptr::eq(prep.gwh_fock(), f));
+    }
+
+    #[test]
+    fn bad_molecule_fails_in_setup_with_typed_error() {
+        // Preparation must surface basis problems as `ScfError::Setup`
+        // (the service relies on this to fail a job without caching it).
+        let mut m = generators::helium();
+        m.atoms[0].z = 20; // no STO-3G data for Z=20 in this repo
+        match PreparedScf::new(m, BasisSetKind::Sto3g, 1e-11, ShellOrdering::Natural) {
+            Err(ScfError::Setup(msg)) => assert!(msg.contains("Z=20"), "{msg}"),
+            other => panic!("expected Setup error, got {:?}", other.map(|_| ())),
+        }
+    }
+}

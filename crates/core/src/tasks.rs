@@ -11,7 +11,7 @@ use chem::reorder::{reorder, ShellOrdering};
 use chem::shells::BasisInstance;
 use chem::BasisSetKind;
 use eri::{DensityNorms, Screening, ShellPairData};
-use std::sync::OnceLock;
+use std::sync::Arc;
 
 /// The paper's SymmetryCheck predicate: for M ≠ N exactly one of
 /// `symmetry_check(M, N)`, `symmetry_check(N, M)` holds (chosen by index
@@ -48,10 +48,6 @@ pub struct FockProblem {
     pub screening: Screening,
     /// Screening tolerance τ used to build `screening`.
     pub tau: f64,
-    /// Precomputed per-pair ERI data (combined exponents, product centres,
-    /// Hermite E tables) for every significant pair — built lazily on
-    /// first use, then shared read-only by all builders and iterations.
-    pairs: OnceLock<ShellPairData>,
 }
 
 impl FockProblem {
@@ -77,16 +73,18 @@ impl FockProblem {
             basis,
             screening,
             tau,
-            pairs: OnceLock::new(),
         }
     }
 
     /// The shared pair-data table, built on first call (rows in parallel)
-    /// and cached for the lifetime of the problem — every SCF iteration and
-    /// every builder reuses the same tables.
-    pub fn pairs(&self) -> &ShellPairData {
-        self.pairs
-            .get_or_init(|| ShellPairData::build(&self.basis, &self.screening))
+    /// and cached behind `Arc` in the screening — every SCF iteration,
+    /// every builder, and every consumer of the same screening (e.g. an
+    /// [`eri::EriCache`], or service jobs sharing a cached setup) reuses
+    /// one table. Deref-coerces to `&ShellPairData` at existing call
+    /// sites; clone the `Arc` to hold the table past the problem's
+    /// lifetime.
+    pub fn pairs(&self) -> &Arc<ShellPairData> {
+        self.screening.pair_data(&self.basis)
     }
 
     #[inline]

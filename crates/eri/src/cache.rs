@@ -9,7 +9,6 @@
 //! complement: compute every unique significant quartet once, then serve
 //! arbitrary shell quartets by permutational symmetry.
 
-use crate::pairdata::ShellPairData;
 use crate::screening::Screening;
 use crate::teints::EriEngine;
 use chem::shells::BasisInstance;
@@ -64,7 +63,9 @@ impl EriCache {
         let mut bytes = 0usize;
         // Shared pair tables over screening's survivor list; a caller's
         // `tau` looser than the screening's own keeps every pair present.
-        let pd = ShellPairData::build(basis, screening);
+        // Taken from the screening's shared table so an SCF run and its
+        // cache never build the tables twice.
+        let pd = screening.pair_data(basis);
         for m in 0..n {
             for nn in 0..=m {
                 if screening.pair(m, nn) * screening.max_q <= tau {

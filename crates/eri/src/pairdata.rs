@@ -205,6 +205,17 @@ pub struct ShellPairData {
 
 const ABSENT: u32 = u32::MAX;
 
+impl std::fmt::Debug for ShellPairData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The tables are megabytes of floats; print the shape, not the data.
+        f.debug_struct("ShellPairData")
+            .field("n", &self.n)
+            .field("pairs", &self.pairs.len())
+            .field("bytes", &self.bytes())
+            .finish()
+    }
+}
+
 impl ShellPairData {
     /// Build pair data for every pair on `screening`'s survivor list
     /// ((MN) ≥ τ/max(MN) — the same Φ-set membership every build path's

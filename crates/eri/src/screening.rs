@@ -15,9 +15,11 @@
 //! converges. This is the direct-SCF optimization that makes incremental
 //! builds actually skip ERI work.
 
+use crate::pairdata::ShellPairData;
 use crate::teints::EriEngine;
 use chem::shells::BasisInstance;
 use rayon::prelude::*;
+use std::sync::{Arc, OnceLock};
 
 /// Precomputed screening data for one basis instance.
 #[derive(Debug, Clone)]
@@ -32,6 +34,12 @@ pub struct Screening {
     pub max_q: f64,
     /// Φ(M) for every shell, ascending shell indices.
     sig: Vec<Vec<u32>>,
+    /// Shared per-pair ERI tables for the significant pairs, built lazily
+    /// on first request and `Arc`-shared from then on (a clone of the
+    /// screening shares the same table). Keyed by nothing: the table is a
+    /// pure function of (basis, screening), and callers pass the same
+    /// basis the screening was computed from.
+    pair_data: OnceLock<Arc<ShellPairData>>,
 }
 
 impl Screening {
@@ -91,7 +99,17 @@ impl Screening {
             q,
             max_q,
             sig,
+            pair_data: OnceLock::new(),
         }
+    }
+
+    /// The shared pair-data table for `basis` (which must be the instance
+    /// this screening was computed from), built on first call and
+    /// `Arc`-shared by every consumer — Fock builders, the ERI cache, and
+    /// concurrent service jobs on the same setup all reuse one table.
+    pub fn pair_data(&self, basis: &BasisInstance) -> &Arc<ShellPairData> {
+        self.pair_data
+            .get_or_init(|| Arc::new(ShellPairData::build(basis, self)))
     }
 
     /// Pair value (MN).

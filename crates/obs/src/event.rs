@@ -45,6 +45,13 @@ pub enum EventKind {
     /// for op drops, task count for requeues, ×1000 slowdown for
     /// stragglers).
     Fault { code: u32, detail: u32 },
+    /// A job was admitted to the SCF service queue (rank 0 lane).
+    JobSubmit { job: u32 },
+    /// A dispatcher picked the job up from the queue.
+    JobDequeue { job: u32 },
+    /// The job reached a terminal state (done or failed). The submit →
+    /// done timestamp spread is the job's end-to-end latency.
+    JobDone { job: u32 },
 }
 
 /// `code` values carried by [`EventKind::Fault`].
@@ -81,6 +88,9 @@ impl EventKind {
             EventKind::WorkerStart => "worker_start",
             EventKind::WorkerEnd => "worker_end",
             EventKind::Fault { .. } => "fault",
+            EventKind::JobSubmit { .. } => "job_submit",
+            EventKind::JobDequeue { .. } => "job_dequeue",
+            EventKind::JobDone { .. } => "job_done",
         }
     }
 
@@ -113,6 +123,9 @@ impl EventKind {
             EventKind::Fault { code, detail } => {
                 vec![("code", code as f64), ("detail", detail as f64)]
             }
+            EventKind::JobSubmit { job }
+            | EventKind::JobDequeue { job }
+            | EventKind::JobDone { job } => vec![("job", job as f64)],
         }
     }
 }
@@ -155,6 +168,9 @@ mod tests {
             EventKind::WorkerStart,
             EventKind::WorkerEnd,
             EventKind::Fault { code: 0, detail: 0 },
+            EventKind::JobSubmit { job: 0 },
+            EventKind::JobDequeue { job: 0 },
+            EventKind::JobDone { job: 0 },
         ];
         let names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
         let mut dedup = names.clone();

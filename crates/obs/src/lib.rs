@@ -43,6 +43,26 @@ pub mod names {
     pub const TASK_REQUEUED: &str = "task.requeued";
     /// Counter: one-sided op attempts repeated after an injected drop.
     pub const GA_RETRIES: &str = "ga.retries";
+    /// Counter: jobs admitted to the SCF service queue.
+    pub const SERVICE_JOBS_SUBMITTED: &str = "service.jobs_submitted";
+    /// Counter: submissions shed by the bounded-queue admission policy.
+    pub const SERVICE_JOBS_REJECTED: &str = "service.jobs_rejected";
+    /// Counter: jobs that finished with a result.
+    pub const SERVICE_JOBS_COMPLETED: &str = "service.jobs_completed";
+    /// Counter: jobs that finished with an error.
+    pub const SERVICE_JOBS_FAILED: &str = "service.jobs_failed";
+    /// Counter: job setups served from the shared setup cache.
+    pub const SERVICE_SETUP_HITS: &str = "service.setup_hits";
+    /// Counter: job setups built fresh (cache miss).
+    pub const SERVICE_SETUP_MISSES: &str = "service.setup_misses";
+    /// Histogram: per-job nanoseconds from admission to dispatch.
+    pub const SERVICE_QUEUE_NS: &str = "service.queue_ns";
+    /// Histogram: per-job setup nanoseconds (cache lookup or build).
+    pub const SERVICE_SETUP_NS: &str = "service.setup_ns";
+    /// Histogram: per-job nanoseconds spent inside Fock builds.
+    pub const SERVICE_BUILD_NS: &str = "service.build_ns";
+    /// Histogram: per-job end-to-end nanoseconds (admission to terminal).
+    pub const SERVICE_JOB_NS: &str = "service.job_ns";
 }
 
 pub use event::{fault_code, Event, EventKind};

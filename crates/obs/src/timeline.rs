@@ -149,7 +149,13 @@ impl WorkerTotals {
                     t.acc_bytes += bytes;
                     t.acc_calls += 1;
                 }
-                EventKind::IterStart { .. } | EventKind::IterEnd { .. } => {}
+                // Driver/service lifecycle markers carry no per-worker
+                // totals; latency views read their timestamps directly.
+                EventKind::IterStart { .. }
+                | EventKind::IterEnd { .. }
+                | EventKind::JobSubmit { .. }
+                | EventKind::JobDequeue { .. }
+                | EventKind::JobDone { .. } => {}
                 EventKind::WorkerStart => worker_start = Some(e.t),
                 EventKind::WorkerEnd => worker_end = Some(e.t),
                 EventKind::Fault { .. } => t.faults += 1,

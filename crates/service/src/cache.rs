@@ -1,0 +1,190 @@
+//! The shared setup cache: one [`PreparedScf`] per (molecule, basis,
+//! τ, ordering) key, shared by every job that asks for it.
+//!
+//! Setup — basis instantiation, Schwarz screening, shell-pair tables,
+//! S/H/X and the GWH seed — dominates small-job latency and is identical
+//! for identical inputs, so the service keys it by a structural hash of
+//! exactly the inputs setup depends on and hands out `Arc` clones.
+//! Concurrent requests for the same key serialize on a per-key slot (the
+//! second requester blocks until the first finishes building, then takes
+//! the shared copy), while requests for different keys build in parallel.
+//! Failed setups are not cached: every submission of a broken molecule
+//! gets its own error.
+
+use crate::job::hash_spec;
+use chem::molecule::Molecule;
+use chem::reorder::ShellOrdering;
+use chem::BasisSetKind;
+use fock_core::scf::ScfError;
+use fock_core::session::PreparedScf;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+type Slot = Arc<Mutex<Option<Arc<PreparedScf>>>>;
+
+/// Concurrent map from setup key to shared [`PreparedScf`].
+#[derive(Default)]
+pub struct SetupCache {
+    map: Mutex<HashMap<u64, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// The cache key: an FNV-1a hash of everything [`PreparedScf::new`]
+/// consumes — atom numbers and position bits, the basis set, τ bits, and
+/// the shell ordering (variant + cell-size bits).
+pub fn setup_key(
+    molecule: &Molecule,
+    kind: BasisSetKind,
+    tau: f64,
+    ordering: ShellOrdering,
+) -> u64 {
+    hash_spec(molecule, kind, tau, ordering)
+}
+
+impl SetupCache {
+    pub fn new() -> SetupCache {
+        SetupCache::default()
+    }
+
+    /// Look up `key`, building (and caching) via `build` on a miss.
+    /// Returns the shared setup and whether it was a cache hit.
+    pub fn get_or_build(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<PreparedScf, ScfError>,
+    ) -> Result<(Arc<PreparedScf>, bool), ScfError> {
+        let slot: Slot = {
+            let mut map = self.map.lock().expect("setup cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut entry = slot.lock().expect("setup slot poisoned");
+        if let Some(prep) = entry.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(prep), true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build()?);
+        // Build the lazy shared tables now, so their cost lands in this
+        // job's setup_ns instead of a random later build's build_ns.
+        built.warm();
+        *entry = Some(Arc::clone(&built));
+        Ok((built, false))
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct keys that currently hold a built setup.
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .expect("setup cache poisoned")
+            .values()
+            .filter(|slot| slot.lock().expect("setup slot poisoned").is_some())
+            .count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chem::generators;
+
+    fn key_of(m: &Molecule) -> u64 {
+        setup_key(m, BasisSetKind::Sto3g, 1e-11, ShellOrdering::Natural)
+    }
+
+    #[test]
+    fn identical_inputs_hash_identically() {
+        assert_eq!(key_of(&generators::water()), key_of(&generators::water()));
+        assert_ne!(key_of(&generators::water()), key_of(&generators::methane()));
+        let w = &generators::water();
+        assert_ne!(
+            setup_key(w, BasisSetKind::Sto3g, 1e-11, ShellOrdering::Natural),
+            setup_key(
+                w,
+                BasisSetKind::SixThirtyOneG,
+                1e-11,
+                ShellOrdering::Natural
+            )
+        );
+        assert_ne!(
+            setup_key(w, BasisSetKind::Sto3g, 1e-11, ShellOrdering::Natural),
+            setup_key(w, BasisSetKind::Sto3g, 1e-10, ShellOrdering::Natural)
+        );
+        assert_ne!(
+            setup_key(w, BasisSetKind::Sto3g, 1e-11, ShellOrdering::Natural),
+            setup_key(
+                w,
+                BasisSetKind::Sto3g,
+                1e-11,
+                ShellOrdering::cells_default()
+            )
+        );
+        // Different cell sizes of the same ordering variant differ too.
+        assert_ne!(
+            setup_key(
+                w,
+                BasisSetKind::Sto3g,
+                1e-11,
+                ShellOrdering::Cells { cell: 5.0 }
+            ),
+            setup_key(
+                w,
+                BasisSetKind::Sto3g,
+                1e-11,
+                ShellOrdering::Cells { cell: 4.0 }
+            )
+        );
+    }
+
+    #[test]
+    fn repeated_key_hits_and_shares() {
+        let cache = SetupCache::new();
+        let build = || {
+            PreparedScf::new(
+                generators::water(),
+                BasisSetKind::Sto3g,
+                1e-11,
+                ShellOrdering::Natural,
+            )
+        };
+        let key = key_of(&generators::water());
+        let (a, hit_a) = cache.get_or_build(key, build).unwrap();
+        let (b, hit_b) = cache.get_or_build(key, build).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b), "cache must share, not rebuild");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn failed_setup_is_not_cached() {
+        let cache = SetupCache::new();
+        let mut bad = generators::helium();
+        bad.atoms[0].z = 20; // more electrons than STO-3G functions
+        let key = key_of(&bad);
+        for _ in 0..2 {
+            let m = bad.clone();
+            let r = cache.get_or_build(key, move || {
+                PreparedScf::new(m, BasisSetKind::Sto3g, 1e-11, ShellOrdering::Natural)
+            });
+            assert!(r.is_err());
+        }
+        assert_eq!(cache.misses(), 2, "errors must rebuild, not cache");
+        assert_eq!(cache.len(), 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Job-facing types of the service API: what a tenant submits
+//! ([`JobSpec`]), the handle it gets back ([`JobHandle`]), and the typed
+//! status/result/error surface.
+
+use chem::molecule::Molecule;
+use chem::reorder::ShellOrdering;
+use chem::BasisSetKind;
+use fock_core::scf::{ScfConfig, ScfError};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One SCF request: the molecule, the basis, and the SCF configuration to
+/// run with. The service overrides `scf.builder` with its shared worker
+/// pool; every other field (tolerances, DIIS, incremental, guess, …) is
+/// honoured as given. `scf.tau` and `scf.ordering` also select the setup
+/// cache entry.
+#[derive(Clone)]
+pub struct JobSpec {
+    pub molecule: Molecule,
+    pub basis: BasisSetKind,
+    pub scf: ScfConfig,
+    /// Free-form tag echoed in the result (bench/tracing convenience).
+    pub label: Option<String>,
+}
+
+impl JobSpec {
+    pub fn new(molecule: Molecule, basis: BasisSetKind) -> JobSpec {
+        JobSpec {
+            molecule,
+            basis,
+            scf: ScfConfig::default(),
+            label: None,
+        }
+    }
+
+    pub fn scf(mut self, cfg: ScfConfig) -> JobSpec {
+        self.scf = cfg;
+        self
+    }
+
+    pub fn label(mut self, label: impl Into<String>) -> JobSpec {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The setup-cache key this spec maps to.
+    pub fn setup_key(&self) -> u64 {
+        hash_spec(&self.molecule, self.basis, self.scf.tau, self.scf.ordering)
+    }
+}
+
+/// FNV-1a over the setup-relevant parts of a job spec. Float fields are
+/// hashed by their bit patterns — the cache requires exact equality, not
+/// geometric closeness.
+pub(crate) fn hash_spec(
+    molecule: &Molecule,
+    kind: BasisSetKind,
+    tau: f64,
+    ordering: ShellOrdering,
+) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(match kind {
+        BasisSetKind::Sto3g => 1,
+        BasisSetKind::SixThirtyOneG => 2,
+        BasisSetKind::CcPvdz => 3,
+    });
+    mix(tau.to_bits());
+    match ordering {
+        ShellOrdering::Natural => mix(10),
+        ShellOrdering::Cells { cell } => {
+            mix(11);
+            mix(cell.to_bits());
+        }
+        ShellOrdering::Morton { cell } => {
+            mix(12);
+            mix(cell.to_bits());
+        }
+        ShellOrdering::Hilbert { cell } => {
+            mix(13);
+            mix(cell.to_bits());
+        }
+    }
+    mix(molecule.atoms.len() as u64);
+    for atom in &molecule.atoms {
+        mix(atom.z as u64);
+        mix(atom.pos.x.to_bits());
+        mix(atom.pos.y.to_bits());
+        mix(atom.pos.z.to_bits());
+    }
+    h
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a dispatcher slot.
+    Queued,
+    /// A dispatcher is running (or sharing) per-basis setup.
+    Setup,
+    /// SCF iterations in flight; `iter` counts completed iterations.
+    Running {
+        iter: usize,
+    },
+    Done,
+    Failed,
+}
+
+/// Per-job latency decomposition, all in wall nanoseconds.
+#[derive(Debug, Clone, Default)]
+pub struct JobTiming {
+    /// Admission to dispatch (time spent in the bounded queue).
+    pub queue_ns: u64,
+    /// Setup-cache lookup / build (near zero on a hit).
+    pub setup_ns: u64,
+    /// Sum of wall time spent inside Fock builds on the worker pool.
+    pub build_ns: u64,
+    /// Submission to completion.
+    pub total_ns: u64,
+    /// Wall time of each SCF iteration, in order.
+    pub iter_ns: Vec<u64>,
+}
+
+/// What a finished job hands back. Deliberately matrix-free (energies,
+/// counts and timings clone cheaply to every waiter); run outside the
+/// service for the full [`fock_core::scf::ScfResult`].
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    pub job: u64,
+    pub label: Option<String>,
+    /// Total energy (electronic + nuclear), hartree.
+    pub energy: f64,
+    pub converged: bool,
+    pub iterations: usize,
+    /// Energy after each iteration.
+    pub history: Vec<f64>,
+    /// Shell quartets computed across all iterations.
+    pub total_quartets: u64,
+    /// Whether setup came from the shared cache.
+    pub cache_hit: bool,
+    pub timing: JobTiming,
+}
+
+/// Why a job failed after admission.
+#[derive(Debug, Clone)]
+pub enum ServiceError {
+    /// Setup or the SCF loop failed.
+    Scf(ScfError),
+    /// The service shut down before the job could run.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Scf(e) => write!(f, "job failed: {e}"),
+            ServiceError::Shutdown => write!(f, "service shut down before the job ran"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Scf(e) => Some(e),
+            ServiceError::Shutdown => None,
+        }
+    }
+}
+
+impl From<ScfError> for ServiceError {
+    fn from(e: ScfError) -> Self {
+        ServiceError::Scf(e)
+    }
+}
+
+struct JobState {
+    id: u64,
+    label: Option<String>,
+    /// Status plus the outcome once terminal, under one lock so waiters
+    /// never observe `Done` without a result.
+    state: Mutex<(JobStatus, Option<Result<JobResult, ServiceError>>)>,
+    cv: Condvar,
+}
+
+/// Shared handle to a submitted job. Clone freely; any clone can poll
+/// [`status`](JobHandle::status) or block in [`wait`](JobHandle::wait).
+#[derive(Clone)]
+pub struct JobHandle {
+    inner: Arc<JobState>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.inner.id)
+            .field("label", &self.inner.label)
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+impl JobHandle {
+    pub(crate) fn new(id: u64, label: Option<String>) -> JobHandle {
+        JobHandle {
+            inner: Arc::new(JobState {
+                id,
+                label,
+                state: Mutex::new((JobStatus::Queued, None)),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Service-assigned job id (dense, submission order).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    pub fn label(&self) -> Option<&str> {
+        self.inner.label.as_deref()
+    }
+
+    pub fn status(&self) -> JobStatus {
+        self.inner.state.lock().expect("job state poisoned").0
+    }
+
+    /// The outcome if the job is already terminal, without blocking.
+    pub fn try_result(&self) -> Option<Result<JobResult, ServiceError>> {
+        self.inner
+            .state
+            .lock()
+            .expect("job state poisoned")
+            .1
+            .clone()
+    }
+
+    /// Block until the job is terminal and return its outcome.
+    pub fn wait(&self) -> Result<JobResult, ServiceError> {
+        let mut st = self.inner.state.lock().expect("job state poisoned");
+        loop {
+            if let Some(outcome) = st.1.clone() {
+                return outcome;
+            }
+            st = self.inner.cv.wait(st).expect("job condvar poisoned");
+        }
+    }
+
+    pub(crate) fn set_status(&self, status: JobStatus) {
+        let mut st = self.inner.state.lock().expect("job state poisoned");
+        if st.1.is_none() {
+            st.0 = status;
+        }
+    }
+
+    pub(crate) fn finish(&self, outcome: Result<JobResult, ServiceError>) {
+        let mut st = self.inner.state.lock().expect("job state poisoned");
+        st.0 = if outcome.is_ok() {
+            JobStatus::Done
+        } else {
+            JobStatus::Failed
+        };
+        st.1 = Some(outcome);
+        drop(st);
+        self.inner.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chem::generators;
+
+    #[test]
+    fn handle_status_transitions_and_wait() {
+        let h = JobHandle::new(7, Some("x".into()));
+        assert_eq!(h.id(), 7);
+        assert_eq!(h.label(), Some("x"));
+        assert_eq!(h.status(), JobStatus::Queued);
+        assert!(h.try_result().is_none());
+        h.set_status(JobStatus::Running { iter: 3 });
+        assert_eq!(h.status(), JobStatus::Running { iter: 3 });
+        let waiter = {
+            let h = h.clone();
+            std::thread::spawn(move || h.wait())
+        };
+        h.finish(Err(ServiceError::Shutdown));
+        assert!(matches!(
+            waiter.join().unwrap(),
+            Err(ServiceError::Shutdown)
+        ));
+        assert_eq!(h.status(), JobStatus::Failed);
+        // Terminal state is sticky: late status updates are ignored.
+        h.set_status(JobStatus::Queued);
+        assert_eq!(h.status(), JobStatus::Failed);
+    }
+
+    #[test]
+    fn spec_key_ignores_non_setup_config() {
+        let a = JobSpec::new(generators::water(), BasisSetKind::Sto3g);
+        let cfg = ScfConfig::builder().diis(true).max_iter(3).build();
+        let b = JobSpec::new(generators::water(), BasisSetKind::Sto3g).scf(cfg);
+        // DIIS / iteration budget don't affect setup, so the key matches.
+        assert_eq!(a.setup_key(), b.setup_key());
+        let cfg2 = ScfConfig::builder().tau(1e-9).build();
+        let c = JobSpec::new(generators::water(), BasisSetKind::Sto3g).scf(cfg2);
+        assert_ne!(a.setup_key(), c.setup_key());
+    }
+}

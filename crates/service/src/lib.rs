@@ -1,0 +1,30 @@
+//! Multi-tenant SCF service layer.
+//!
+//! Turns the Fock-construction library into an async SCF server: many
+//! molecules run concurrently through one shared worker pool, interleaved
+//! at shell-pair-task granularity so a small job is never stuck behind a
+//! big one (the GTFock task grid makes this natural — every Fock build is
+//! already a bag of (M,:|N,:) tasks). Expensive per-basis setup is shared
+//! across requests through a keyed [`SetupCache`], admission is bounded
+//! (reject or block), and every stage of a job's latency is accounted and
+//! recorded through `obs`.
+//!
+//! ```no_run
+//! use scf_service::{JobSpec, ScfService, ServiceConfig};
+//! use chem::{generators, BasisSetKind};
+//!
+//! let svc = ScfService::new(ServiceConfig::default());
+//! let h = svc.submit(JobSpec::new(generators::water(), BasisSetKind::Sto3g)).unwrap();
+//! let result = h.wait().unwrap();
+//! println!("E = {:.10} Ha in {} iterations", result.energy, result.iterations);
+//! ```
+
+pub mod cache;
+pub mod job;
+pub mod pool;
+pub mod service;
+
+pub use cache::{setup_key, SetupCache};
+pub use job::{JobHandle, JobResult, JobSpec, JobStatus, JobTiming, ServiceError};
+pub use pool::{PoolBuild, PoolConfig, WorkerPool};
+pub use service::{AdmissionPolicy, ScfService, ServiceConfig, SubmitError};

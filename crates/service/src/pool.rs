@@ -1,0 +1,572 @@
+//! The shared worker pool: many concurrent Fock builds multiplexed onto
+//! one set of threads at shell-pair-task granularity.
+//!
+//! The paper's core observation is that Fock construction load-balances
+//! when work is distributed as (M,:|N,:) shell-pair tasks rather than
+//! whole jobs. The pool applies that one level up: every active build
+//! (one per in-flight SCF iteration, across *all* tenant jobs) exposes
+//! its task grid through a claim cursor, and the pool's persistent
+//! workers round-robin their claims across the active builds. A small
+//! molecule's handful of tasks therefore interleaves with a big
+//! molecule's thousands instead of queueing behind them.
+//!
+//! Each claim takes a contiguous chunk of cells of one build's
+//! `nshells × nshells` task matrix. The worker computes the chunk into a
+//! private scratch G (plain [`do_task`] calls — the same kernel every
+//! other builder uses) and merges it into the build's accumulator under a
+//! short lock, so builds never share mutable state and the merge order is
+//! the only nondeterminism.
+
+use eri::{DensityNorms, EriEngine};
+use fock_core::build::{
+    record_dmax, record_pairdata, BuildOutcome, BuildReport, FockBuild, DENSITY_SKIPPED_COUNTER,
+    QUARTETS_COUNTER, QUARTET_NS_HISTOGRAM,
+};
+use fock_core::sink::{do_task, DenseSink};
+use fock_core::tasks::FockProblem;
+use obs::{EventKind, Recorder};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Worker-pool sizing and task granularity.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of persistent worker threads.
+    pub workers: usize,
+    /// Task-matrix cells claimed per queue access. Small chunks
+    /// interleave jobs more finely; large chunks amortize the claim.
+    pub chunk: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8);
+        PoolConfig { workers, chunk: 4 }
+    }
+}
+
+/// One in-flight Fock build registered with the pool.
+struct ActiveBuild {
+    prob: Arc<FockProblem>,
+    d: Vec<f64>,
+    dn: DensityNorms,
+    nshells: usize,
+    ncells: usize,
+    chunk: usize,
+    /// Next unclaimed cell of the flattened task matrix.
+    cursor: AtomicUsize,
+    /// Cells fully computed *and merged*.
+    cells_done: AtomicUsize,
+    /// Chunk claims taken from this build (the report's queue accesses).
+    claims: AtomicU64,
+    rec: Recorder,
+    /// The accumulator workers merge their scratch G into.
+    g: Mutex<Vec<f64>>,
+    /// Per-pool-worker tallies, indexed by worker id.
+    quartets: Vec<AtomicU64>,
+    skipped: Vec<AtomicU64>,
+    comp_ns: Vec<AtomicU64>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl ActiveBuild {
+    fn exhausted(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) >= self.ncells
+    }
+}
+
+struct PoolState {
+    builds: Vec<Arc<ActiveBuild>>,
+    /// Round-robin position for fair claim distribution across builds.
+    rr: usize,
+    shutdown: bool,
+}
+
+impl PoolState {
+    /// Claim the next chunk, rotating across active builds so every
+    /// build makes progress regardless of size. Builds whose grids are
+    /// fully claimed are dropped from the dispatch list (their last
+    /// chunks may still be executing).
+    fn claim(&mut self) -> Option<(Arc<ActiveBuild>, usize, usize)> {
+        loop {
+            self.builds.retain(|b| !b.exhausted());
+            if self.builds.is_empty() {
+                return None;
+            }
+            let n = self.builds.len();
+            for k in 0..n {
+                let i = (self.rr + k) % n;
+                let b = Arc::clone(&self.builds[i]);
+                let start = b.cursor.fetch_add(b.chunk, Ordering::Relaxed);
+                if start < b.ncells {
+                    self.rr = (i + 1) % n;
+                    b.claims.fetch_add(1, Ordering::Relaxed);
+                    let end = (start + b.chunk).min(b.ncells);
+                    return Some((b, start, end));
+                }
+            }
+            // Every build raced to exhaustion since the retain; rescan.
+        }
+    }
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    nworkers: usize,
+}
+
+/// A persistent pool of Fock-build workers shared by every job of an
+/// [`ScfService`](crate::ScfService). Create once, submit builds from any
+/// thread via [`WorkerPool::build_g`] (usually through a [`PoolBuild`]).
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    pub fn new(cfg: PoolConfig) -> WorkerPool {
+        let nworkers = cfg.workers.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                builds: Vec::new(),
+                rr: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            nworkers,
+        });
+        let handles = (0..nworkers)
+            .map(|widx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("scf-pool-{widx}"))
+                    .spawn(move || worker_loop(shared, widx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    pub fn nworkers(&self) -> usize {
+        self.shared.nworkers
+    }
+
+    /// Execute one Fock build on the pool, blocking until every cell of
+    /// its task grid has been computed and merged. Many threads may call
+    /// this concurrently; their task grids interleave chunk by chunk.
+    ///
+    /// Panics if the pool has been shut down.
+    pub fn build_g(
+        &self,
+        prob: Arc<FockProblem>,
+        d: &[f64],
+        rec: &Recorder,
+        chunk: usize,
+    ) -> BuildOutcome {
+        let nbf = prob.nbf();
+        assert_eq!(d.len(), nbf * nbf, "density shape mismatch");
+        let t0 = Instant::now();
+        let dn = DensityNorms::compute(&prob.basis, d);
+        record_dmax(rec, dn.max);
+        record_pairdata(rec, prob.pairs());
+        let nshells = prob.nshells();
+        let ncells = nshells * nshells;
+        let nw = self.shared.nworkers;
+        let build = Arc::new(ActiveBuild {
+            d: d.to_vec(),
+            dn,
+            nshells,
+            ncells,
+            chunk: chunk.max(1),
+            cursor: AtomicUsize::new(0),
+            cells_done: AtomicUsize::new(0),
+            claims: AtomicU64::new(0),
+            rec: rec.clone(),
+            g: Mutex::new(vec![0.0; nbf * nbf]),
+            quartets: (0..nw).map(|_| AtomicU64::new(0)).collect(),
+            skipped: (0..nw).map(|_| AtomicU64::new(0)).collect(),
+            comp_ns: (0..nw).map(|_| AtomicU64::new(0)).collect(),
+            done: Mutex::new(ncells == 0),
+            done_cv: Condvar::new(),
+            prob,
+        });
+        if ncells > 0 {
+            {
+                let mut st = self.shared.state.lock().expect("pool state poisoned");
+                assert!(!st.shutdown, "worker pool is shut down");
+                st.builds.push(Arc::clone(&build));
+            }
+            self.shared.work_cv.notify_all();
+            let mut done = build.done.lock().expect("build done flag poisoned");
+            while !*done {
+                done = build
+                    .done_cv
+                    .wait(done)
+                    .expect("build done condvar poisoned");
+            }
+        }
+        let t_wall = t0.elapsed().as_secs_f64();
+
+        let mut report = BuildReport::zeros(nw);
+        let mut quartets = 0u64;
+        let mut skipped = 0u64;
+        for i in 0..nw {
+            let q = build.quartets[i].load(Ordering::Acquire);
+            let s = build.skipped[i].load(Ordering::Acquire);
+            let t = build.comp_ns[i].load(Ordering::Acquire) as f64 * 1e-9;
+            report.quartets[i] = q;
+            report.density_skipped[i] = s;
+            // Workers touch a build only while computing its chunks, so
+            // per-worker T_fock == T_comp; the claim/merge overhead is in
+            // the wall-clock gap the service's latency accounting sees.
+            report.t_comp[i] = t;
+            report.t_fock[i] = t;
+            quartets += q;
+            skipped += s;
+        }
+        report.queue_accesses = build.claims.load(Ordering::Acquire);
+        let _ = t_wall;
+        rec.counter(QUARTETS_COUNTER).add(quartets);
+        rec.counter(DENSITY_SKIPPED_COUNTER).add(skipped);
+        let g = std::mem::take(&mut *build.g.lock().expect("build G poisoned"));
+        BuildOutcome { g, report }
+    }
+
+    /// Stop accepting builds, drain the ones already registered, and join
+    /// the worker threads. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("pool handles poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>, widx: usize) {
+    let mut eng = EriEngine::new();
+    let mut scratch = Vec::new();
+    let mut gbuf: Vec<f64> = Vec::new();
+    loop {
+        let claimed = {
+            let mut st = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if let Some(c) = st.claim() {
+                    break Some(c);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.work_cv.wait(st).expect("pool condvar poisoned");
+            }
+        };
+        let Some((build, start, end)) = claimed else {
+            return;
+        };
+        run_range(&build, widx, start, end, &mut eng, &mut scratch, &mut gbuf);
+    }
+}
+
+/// Compute cells `start..end` of one build's task grid into a zeroed
+/// scratch G, then merge into the build's accumulator and publish the
+/// progress counters. The `cells_done` release/acquire chain plus the
+/// `done` mutex make every tally visible to the thread waiting in
+/// [`WorkerPool::build_g`].
+fn run_range(
+    build: &ActiveBuild,
+    widx: usize,
+    start: usize,
+    end: usize,
+    eng: &mut EriEngine,
+    scratch: &mut Vec<f64>,
+    gbuf: &mut Vec<f64>,
+) {
+    let t0 = Instant::now();
+    let enabled = build.rec.is_enabled();
+    if enabled {
+        build.rec.side_event(widx, EventKind::QueueAccess);
+        eng.set_quartet_histogram(build.rec.histogram(QUARTET_NS_HISTOGRAM));
+    }
+    let nbf = build.prob.nbf();
+    gbuf.clear();
+    gbuf.resize(nbf * nbf, 0.0);
+    let mut quartets = 0u64;
+    let mut skipped = 0u64;
+    {
+        let mut sink = DenseSink {
+            nbf,
+            d: &build.d,
+            f: gbuf,
+        };
+        for cell in start..end {
+            let (m, n) = (cell / build.nshells, cell % build.nshells);
+            if enabled {
+                build.rec.side_event(
+                    widx,
+                    EventKind::TaskStart {
+                        m: m as u32,
+                        n: n as u32,
+                    },
+                );
+            }
+            let c = do_task(&mut sink, &build.prob, eng, scratch, &build.dn, m, n);
+            if enabled {
+                build.rec.side_event(
+                    widx,
+                    EventKind::TaskEnd {
+                        m: m as u32,
+                        n: n as u32,
+                        quartets: c.computed as u32,
+                    },
+                );
+            }
+            quartets += c.computed;
+            skipped += c.skipped_density;
+        }
+    }
+    {
+        let mut g = build.g.lock().expect("build G poisoned");
+        for (gi, v) in g.iter_mut().zip(gbuf.iter()) {
+            *gi += *v;
+        }
+    }
+    build.quartets[widx].fetch_add(quartets, Ordering::Release);
+    build.skipped[widx].fetch_add(skipped, Ordering::Release);
+    build.comp_ns[widx].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Release);
+    let done_cells = build.cells_done.fetch_add(end - start, Ordering::AcqRel) + (end - start);
+    if done_cells == build.ncells {
+        *build.done.lock().expect("build done flag poisoned") = true;
+        build.done_cv.notify_all();
+    }
+}
+
+/// A job-bound [`FockBuild`] adapter: routes `build` calls for one
+/// specific problem through a shared [`WorkerPool`]. The SCF driver's
+/// trait takes `&FockProblem`, but the pool's persistent workers need an
+/// owned (`'static`) handle — so the adapter is constructed per job with
+/// the job's `Arc<FockProblem>` and asserts the driver passes the same
+/// problem back.
+pub struct PoolBuild {
+    pool: Arc<WorkerPool>,
+    prob: Arc<FockProblem>,
+    chunk: usize,
+    /// Accumulated wall nanoseconds spent inside `build` calls — the
+    /// service's `build_ns` latency component.
+    elapsed_ns: Arc<AtomicU64>,
+}
+
+impl PoolBuild {
+    pub fn new(pool: Arc<WorkerPool>, prob: Arc<FockProblem>, chunk: usize) -> PoolBuild {
+        PoolBuild {
+            pool,
+            prob,
+            chunk,
+            elapsed_ns: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Shared handle to the accumulated in-builder wall time.
+    pub fn elapsed_ns(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.elapsed_ns)
+    }
+}
+
+impl FockBuild for PoolBuild {
+    fn name(&self) -> &'static str {
+        "pool"
+    }
+
+    /// # Panics
+    ///
+    /// If `prob` is not the problem this adapter was bound to — a
+    /// `PoolBuild` belongs to exactly one job's setup.
+    fn build(
+        &self,
+        prob: &FockProblem,
+        d: &[f64],
+        rec: &Recorder,
+    ) -> Result<BuildOutcome, fock_core::build::BuildError> {
+        assert!(
+            std::ptr::eq(prob, Arc::as_ptr(&self.prob)),
+            "PoolBuild is bound to one job's FockProblem"
+        );
+        let t0 = Instant::now();
+        let out = self
+            .pool
+            .build_g(Arc::clone(&self.prob), d, rec, self.chunk);
+        self.elapsed_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chem::reorder::ShellOrdering;
+    use chem::{generators, BasisSetKind};
+    use fock_core::seq::build_g_seq;
+
+    fn test_density(nbf: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut d = vec![0.0; nbf * nbf];
+        for i in 0..nbf {
+            for j in i..nbf {
+                let v = 0.4 * next();
+                d[i * nbf + j] = v;
+                d[j * nbf + i] = v;
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn pool_matches_seq_reference() {
+        let prob = Arc::new(
+            FockProblem::new(
+                generators::water(),
+                BasisSetKind::Sto3g,
+                1e-12,
+                ShellOrdering::Natural,
+            )
+            .unwrap(),
+        );
+        let d = test_density(prob.nbf(), 17);
+        let (want, want_q) = build_g_seq(&prob, &d);
+        let pool = WorkerPool::new(PoolConfig {
+            workers: 3,
+            chunk: 2,
+        });
+        let out = pool.build_g(Arc::clone(&prob), &d, &Recorder::disabled(), 2);
+        let diff = want
+            .iter()
+            .zip(&out.g)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-10, "pool G differs from seq by {diff}");
+        assert_eq!(out.report.total_quartets(), want_q);
+        assert!(out.report.queue_accesses > 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn concurrent_builds_interleave_and_agree() {
+        let probs: Vec<Arc<FockProblem>> = [
+            generators::water(),
+            generators::methane(),
+            generators::hydrogen(1.4),
+        ]
+        .into_iter()
+        .map(|m| {
+            Arc::new(
+                FockProblem::new(m, BasisSetKind::Sto3g, 1e-12, ShellOrdering::Natural).unwrap(),
+            )
+        })
+        .collect();
+        let pool = Arc::new(WorkerPool::new(PoolConfig {
+            workers: 4,
+            chunk: 1,
+        }));
+        std::thread::scope(|s| {
+            for (i, prob) in probs.iter().enumerate() {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    let d = test_density(prob.nbf(), 100 + i as u64);
+                    let (want, _) = build_g_seq(prob, &d);
+                    for _ in 0..2 {
+                        let out = pool.build_g(Arc::clone(prob), &d, &Recorder::disabled(), 1);
+                        let diff = want
+                            .iter()
+                            .zip(&out.g)
+                            .map(|(a, b)| (a - b).abs())
+                            .fold(0.0, f64::max);
+                        assert!(diff < 1e-10, "job {i}: pool G off by {diff}");
+                    }
+                });
+            }
+        });
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_build_records_task_events() {
+        let prob = Arc::new(
+            FockProblem::new(
+                generators::hydrogen(1.4),
+                BasisSetKind::Sto3g,
+                1e-12,
+                ShellOrdering::Natural,
+            )
+            .unwrap(),
+        );
+        let d = test_density(prob.nbf(), 3);
+        let pool = WorkerPool::new(PoolConfig {
+            workers: 2,
+            chunk: 1,
+        });
+        let rec = Recorder::enabled();
+        let out = pool.build_g(Arc::clone(&prob), &d, &rec, 1);
+        pool.shutdown();
+        let recording = rec.recording().unwrap();
+        let totals = recording.worker_totals();
+        let recorded_q: u64 = totals.iter().map(|t| t.quartets).sum();
+        assert_eq!(recorded_q, out.report.total_quartets());
+        let recorded_claims: u64 = totals.iter().map(|t| t.queue_accesses).sum();
+        assert_eq!(recorded_claims, out.report.queue_accesses);
+        assert_eq!(
+            recording.metrics().counter(QUARTETS_COUNTER),
+            out.report.total_quartets()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bound to one job's FockProblem")]
+    fn pool_build_rejects_foreign_problem() {
+        let mk = || {
+            Arc::new(
+                FockProblem::new(
+                    generators::hydrogen(1.4),
+                    BasisSetKind::Sto3g,
+                    1e-12,
+                    ShellOrdering::Natural,
+                )
+                .unwrap(),
+            )
+        };
+        let bound = mk();
+        let other = mk();
+        let pool = Arc::new(WorkerPool::new(PoolConfig {
+            workers: 1,
+            chunk: 1,
+        }));
+        let adapter = PoolBuild::new(pool, bound, 1);
+        let d = vec![0.0; other.nbf() * other.nbf()];
+        let _ = adapter.build(&other, &d, &Recorder::disabled());
+    }
+}

@@ -1,0 +1,393 @@
+//! The multi-tenant SCF service: bounded admission queue, dispatcher
+//! threads, shared setup cache, and the shared worker pool.
+//!
+//! Architecture (DESIGN §10): [`ScfService::submit`] admits a
+//! [`JobSpec`] into a bounded queue (reject or block when full — the shed
+//! policy), `max_concurrent_jobs` dispatcher threads pop jobs and drive
+//! one [`ScfSession`] each, and every Fock build inside those sessions
+//! executes on one shared [`WorkerPool`] at shell-pair-task granularity —
+//! so N concurrent jobs share the machine per task, not per job. Setup is
+//! deduplicated through a [`SetupCache`] keyed by (molecule, basis, τ,
+//! ordering). Latency is accounted per job (`queue_ns`, `setup_ns`,
+//! `build_ns`, per-iteration wall times) and recorded through `obs`
+//! histograms and `JobSubmit`/`JobDequeue`/`JobDone` timeline events, so
+//! tail latency is measurable from the recording alone.
+
+use crate::cache::SetupCache;
+use crate::job::{JobHandle, JobResult, JobSpec, JobStatus, JobTiming, ServiceError};
+use crate::pool::{PoolBuild, PoolConfig, WorkerPool};
+use fock_core::session::{PreparedScf, ScfSession, ScfStep};
+use obs::{names, EventKind, Recorder};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// What to do with a submission when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Shed load: fail the submission with [`SubmitError::QueueFull`].
+    Reject,
+    /// Apply backpressure: block the submitter until space frees up.
+    Block,
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity and the policy is
+    /// [`AdmissionPolicy::Reject`].
+    QueueFull { capacity: usize },
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "job queue full (capacity {capacity})")
+            }
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Service sizing and policy.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Worker-pool threads executing Fock tasks (all jobs share them).
+    pub workers: usize,
+    /// Dispatcher threads = SCF jobs in flight at once. More in-flight
+    /// jobs means finer interleaving on the pool but more peak memory
+    /// (one density/Fock working set each).
+    pub max_concurrent_jobs: usize,
+    /// Bounded queue capacity (jobs admitted but not yet dispatched).
+    pub queue_capacity: usize,
+    pub admission: AdmissionPolicy,
+    /// Task-matrix cells per worker claim (see [`PoolConfig::chunk`]).
+    pub task_chunk: usize,
+    /// Telemetry sink for job events, latency histograms, and every Fock
+    /// build the pool runs. Disabled by default.
+    pub recorder: Recorder,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let pool = PoolConfig::default();
+        ServiceConfig {
+            workers: pool.workers,
+            max_concurrent_jobs: 4,
+            queue_capacity: 64,
+            admission: AdmissionPolicy::Reject,
+            task_chunk: pool.chunk,
+            recorder: Recorder::disabled(),
+        }
+    }
+}
+
+struct QueuedJob {
+    id: u64,
+    spec: JobSpec,
+    handle: JobHandle,
+    submitted: Instant,
+}
+
+struct QueueInner {
+    q: VecDeque<QueuedJob>,
+    /// Jobs popped but not yet terminal.
+    active: usize,
+    shutdown: bool,
+}
+
+struct ServiceShared {
+    cfg: ServiceConfig,
+    pool: Arc<WorkerPool>,
+    cache: SetupCache,
+    queue: Mutex<QueueInner>,
+    /// Dispatchers sleep here waiting for jobs.
+    work_cv: Condvar,
+    /// Blocked submitters (admission backpressure) sleep here.
+    space_cv: Condvar,
+    /// Drain waiters sleep here; notified as jobs reach terminal state.
+    done_cv: Condvar,
+    next_id: AtomicU64,
+}
+
+/// The multi-tenant SCF server. See the module docs for the architecture.
+pub struct ScfService {
+    shared: Arc<ServiceShared>,
+    dispatchers: Vec<JoinHandle<()>>,
+}
+
+impl ScfService {
+    pub fn new(cfg: ServiceConfig) -> ScfService {
+        let pool = Arc::new(WorkerPool::new(PoolConfig {
+            workers: cfg.workers,
+            chunk: cfg.task_chunk,
+        }));
+        let ndispatch = cfg.max_concurrent_jobs.max(1);
+        let shared = Arc::new(ServiceShared {
+            pool,
+            cache: SetupCache::new(),
+            queue: Mutex::new(QueueInner {
+                q: VecDeque::new(),
+                active: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            next_id: AtomicU64::new(0),
+            cfg,
+        });
+        let dispatchers = (0..ndispatch)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("scf-dispatch-{i}"))
+                    .spawn(move || dispatcher_loop(shared))
+                    .expect("spawn dispatcher")
+            })
+            .collect();
+        ScfService {
+            shared,
+            dispatchers,
+        }
+    }
+
+    /// Admit a job. Returns immediately with a [`JobHandle`] (or blocks
+    /// for space under [`AdmissionPolicy::Block`]); the job runs on the
+    /// service's dispatchers and pool.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        let rec = &self.shared.cfg.recorder;
+        let capacity = self.shared.cfg.queue_capacity.max(1);
+        let mut q = self.shared.queue.lock().expect("service queue poisoned");
+        loop {
+            if q.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if q.q.len() < capacity {
+                break;
+            }
+            match self.shared.cfg.admission {
+                AdmissionPolicy::Reject => {
+                    rec.counter(names::SERVICE_JOBS_REJECTED).add(1);
+                    return Err(SubmitError::QueueFull { capacity });
+                }
+                AdmissionPolicy::Block => {
+                    q = self
+                        .shared
+                        .space_cv
+                        .wait(q)
+                        .expect("service queue poisoned");
+                }
+            }
+        }
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let handle = JobHandle::new(id, spec.label.clone());
+        rec.counter(names::SERVICE_JOBS_SUBMITTED).add(1);
+        rec.side_event(0, EventKind::JobSubmit { job: id as u32 });
+        q.q.push_back(QueuedJob {
+            id,
+            spec,
+            handle: handle.clone(),
+            submitted: Instant::now(),
+        });
+        drop(q);
+        self.shared.work_cv.notify_one();
+        Ok(handle)
+    }
+
+    /// Block until every admitted job has reached a terminal state.
+    pub fn drain(&self) {
+        let mut q = self.shared.queue.lock().expect("service queue poisoned");
+        while !(q.q.is_empty() && q.active == 0) {
+            q = self.shared.done_cv.wait(q).expect("service queue poisoned");
+        }
+    }
+
+    /// Jobs admitted but not yet dispatched.
+    pub fn queue_len(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("service queue poisoned")
+            .q
+            .len()
+    }
+
+    pub fn cache_hits(&self) -> u64 {
+        self.shared.cache.hits()
+    }
+
+    pub fn cache_misses(&self) -> u64 {
+        self.shared.cache.misses()
+    }
+
+    pub fn recorder(&self) -> &Recorder {
+        &self.shared.cfg.recorder
+    }
+
+    /// Stop admissions, drain every already-admitted job, and join the
+    /// dispatchers and the pool. Also runs on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("service queue poisoned");
+            q.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        self.shared.space_cv.notify_all();
+        for h in self.dispatchers.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.pool.shutdown();
+    }
+}
+
+impl Drop for ScfService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn dispatcher_loop(shared: Arc<ServiceShared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("service queue poisoned");
+            loop {
+                if let Some(job) = q.q.pop_front() {
+                    q.active += 1;
+                    break Some(job);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = shared.work_cv.wait(q).expect("service queue poisoned");
+            }
+        };
+        let Some(job) = job else { return };
+        // A submitter blocked on admission can take the freed slot.
+        shared.space_cv.notify_one();
+        run_job(&shared, job);
+        {
+            let mut q = shared.queue.lock().expect("service queue poisoned");
+            q.active -= 1;
+        }
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Execute one job end to end: setup (through the cache), then the SCF
+/// loop one [`ScfSession::step`] at a time, timing each stage.
+fn run_job(shared: &Arc<ServiceShared>, job: QueuedJob) {
+    let rec = &shared.cfg.recorder;
+    let queue_ns = job.submitted.elapsed().as_nanos() as u64;
+    rec.side_event(0, EventKind::JobDequeue { job: job.id as u32 });
+    rec.histogram(names::SERVICE_QUEUE_NS).record(queue_ns);
+    job.handle.set_status(JobStatus::Setup);
+
+    let spec = job.spec;
+    let t_setup = Instant::now();
+    let key = spec.setup_key();
+    let built = {
+        let molecule = spec.molecule.clone();
+        let basis = spec.basis;
+        let tau = spec.scf.tau;
+        let ordering = spec.scf.ordering;
+        shared.cache.get_or_build(key, move || {
+            PreparedScf::new(molecule, basis, tau, ordering)
+        })
+    };
+    let setup_ns = t_setup.elapsed().as_nanos() as u64;
+    rec.histogram(names::SERVICE_SETUP_NS).record(setup_ns);
+    let (prep, cache_hit) = match built {
+        Ok(x) => x,
+        Err(e) => {
+            rec.counter(names::SERVICE_JOBS_FAILED).add(1);
+            rec.side_event(0, EventKind::JobDone { job: job.id as u32 });
+            job.handle.finish(Err(ServiceError::Scf(e)));
+            return;
+        }
+    };
+    rec.counter(if cache_hit {
+        names::SERVICE_SETUP_HITS
+    } else {
+        names::SERVICE_SETUP_MISSES
+    })
+    .add(1);
+
+    // Rebind the job's builder to the shared pool: its builds execute as
+    // interleaved shell-pair tasks next to every other tenant's.
+    let mut cfg = spec.scf;
+    let pool_build = PoolBuild::new(
+        Arc::clone(&shared.pool),
+        Arc::clone(&prep.problem),
+        shared.cfg.task_chunk,
+    );
+    let build_timer = pool_build.elapsed_ns();
+    cfg.builder = Arc::new(pool_build);
+    let mut sess = ScfSession::with_prepared(prep, cfg);
+
+    let mut iter_ns = Vec::new();
+    let outcome = loop {
+        job.handle.set_status(JobStatus::Running {
+            iter: sess.iterations(),
+        });
+        let t_it = Instant::now();
+        match sess.step() {
+            Ok(ScfStep::Continue { .. }) => {
+                iter_ns.push(t_it.elapsed().as_nanos() as u64);
+            }
+            Ok(ScfStep::Converged { .. }) => {
+                iter_ns.push(t_it.elapsed().as_nanos() as u64);
+                break Ok(());
+            }
+            Ok(ScfStep::Exhausted) => break Ok(()),
+            Err(e) => break Err(e),
+        }
+    };
+    let result = match outcome {
+        Ok(()) => sess.finish(),
+        Err(e) => Err(e),
+    };
+
+    let total_ns = job.submitted.elapsed().as_nanos() as u64;
+    let build_ns = build_timer.load(Ordering::Relaxed);
+    rec.histogram(names::SERVICE_BUILD_NS).record(build_ns);
+    rec.histogram(names::SERVICE_JOB_NS).record(total_ns);
+    rec.side_event(0, EventKind::JobDone { job: job.id as u32 });
+    match result {
+        Ok(r) => {
+            rec.counter(names::SERVICE_JOBS_COMPLETED).add(1);
+            job.handle.finish(Ok(JobResult {
+                job: job.id,
+                label: job.handle.label().map(str::to_owned),
+                energy: r.energy,
+                converged: r.converged,
+                iterations: r.iterations,
+                history: r.history,
+                total_quartets: r.reports.iter().map(|rep| rep.total_quartets()).sum(),
+                cache_hit,
+                timing: JobTiming {
+                    queue_ns,
+                    setup_ns,
+                    build_ns,
+                    total_ns,
+                    iter_ns,
+                },
+            }));
+        }
+        Err(e) => {
+            rec.counter(names::SERVICE_JOBS_FAILED).add(1);
+            job.handle.finish(Err(ServiceError::Scf(e)));
+        }
+    }
+}

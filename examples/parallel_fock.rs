@@ -15,7 +15,7 @@ use fock_repro::core::nwchem::{build_fock_nwchem, NwchemConfig};
 use fock_repro::core::tasks::FockProblem;
 use fock_repro::distrt::ProcessGrid;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let size: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -28,7 +28,7 @@ fn main() {
         1e-10,
         ShellOrdering::cells_default(),
     )
-    .expect("problem setup");
+    .map_err(fock_repro::core::scf::ScfError::Setup)?;
     println!(
         "shells: {}   functions: {}   unique significant quartets: {}\n",
         prob.nshells(),
@@ -105,4 +105,5 @@ fn main() {
         .fold(0.0f64, f64::max);
     println!("\nmax |F_gtfock − F_nwchem| = {max_diff:.3e}  (identical algorithms output)");
     assert!(max_diff < 1e-9, "algorithms disagree!");
+    Ok(())
 }

@@ -6,13 +6,13 @@
 //! Run with: `cargo run --release --example purified_scf [alkane_k]`
 
 use fock_repro::chem::{generators, BasisSetKind};
-use fock_repro::core::scf::{run_scf, DensityMethod, ScfConfig};
+use fock_repro::core::scf::{run_scf, DensityMethod, ScfConfig, ScfError};
 use fock_repro::distrt::{GlobalArray, ProcessGrid};
 use fock_repro::linalg::purify::purify_canonical;
 use fock_repro::linalg::summa::summa;
 use fock_repro::linalg::Mat;
 
-fn main() {
+fn main() -> Result<(), ScfError> {
     let k: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -21,7 +21,7 @@ fn main() {
     println!("molecule: {molecule}\n");
 
     println!("== SCF with eigensolver ==");
-    let diag = run_scf(molecule.clone(), BasisSetKind::Sto3g, ScfConfig::default()).unwrap();
+    let diag = run_scf(molecule.clone(), BasisSetKind::Sto3g, ScfConfig::default())?;
     println!(
         "E = {:.8} Ha in {} iterations (converged: {})",
         diag.energy, diag.iterations, diag.converged
@@ -32,7 +32,7 @@ fn main() {
         density: DensityMethod::Purification,
         ..ScfConfig::default()
     };
-    let pur = run_scf(molecule.clone(), BasisSetKind::Sto3g, cfg).unwrap();
+    let pur = run_scf(molecule.clone(), BasisSetKind::Sto3g, cfg)?;
     println!(
         "E = {:.8} Ha in {} iterations (converged: {})",
         pur.energy, pur.iterations, pur.converged
@@ -71,6 +71,7 @@ fn main() {
         "  ‖D² − D‖_max = {:.2e} (idempotent at convergence)",
         dd.max_abs_diff(&p.density)
     );
+    Ok(())
 }
 
 /// F' = Xᵀ F X for the run's final Fock matrix.

@@ -7,15 +7,14 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use fock_repro::chem::{generators, BasisSetKind};
-use fock_repro::core::scf::{run_scf, ScfConfig};
+use fock_repro::core::scf::{run_scf, ScfConfig, ScfError};
 
-fn main() {
+fn main() -> Result<(), ScfError> {
     let molecule = generators::water();
     println!("molecule: {molecule}");
     println!("basis:    STO-3G\n");
 
-    let result =
-        run_scf(molecule, BasisSetKind::Sto3g, ScfConfig::default()).expect("SCF setup failed");
+    let result = run_scf(molecule, BasisSetKind::Sto3g, ScfConfig::default())?;
 
     println!("iter    total energy (Ha)      ΔE");
     let mut prev = f64::NAN;
@@ -32,4 +31,5 @@ fn main() {
     }
     println!("final RHF/STO-3G energy: {:.6} hartree", result.energy);
     println!("(literature value at this geometry: ≈ -74.96 hartree)");
+    Ok(())
 }

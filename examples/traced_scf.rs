@@ -8,20 +8,20 @@
 
 use fock_repro::chem::{generators, BasisSetKind};
 use fock_repro::core::build::{
-    gtfock_builder, SchedulerOpts, DENSITY_SKIPPED_COUNTER, QUARTETS_COUNTER,
+    BuilderKind, SchedulerOpts, DENSITY_SKIPPED_COUNTER, QUARTETS_COUNTER,
 };
-use fock_repro::core::scf::{run_scf, ScfConfig};
+use fock_repro::core::scf::{run_scf, ScfConfig, ScfError};
 use fock_repro::obs::{EventKind, Recorder};
 
-fn main() {
+fn main() -> Result<(), ScfError> {
     let rec = Recorder::enabled();
     let cfg = ScfConfig::builder()
-        .fock_builder(gtfock_builder(SchedulerOpts::with_nprocs(4).gtfock()))
+        .fock_builder(BuilderKind::Gtfock.build_shared(&SchedulerOpts::with_nprocs(4)))
         .incremental(true)
         .diis(true)
         .recorder(rec.clone())
         .build();
-    let r = run_scf(generators::linear_alkane(3), BasisSetKind::Sto3g, cfg).expect("scf");
+    let r = run_scf(generators::linear_alkane(3), BasisSetKind::Sto3g, cfg)?;
     println!(
         "propane/STO-3G via FockBuild(gtfock, 4 procs): E = {:.6} Ha in {} iterations (converged: {})",
         r.energy, r.iterations, r.converged
@@ -57,4 +57,5 @@ fn main() {
         "  density-skipped: {}",
         recording.metrics().counter(DENSITY_SKIPPED_COUNTER)
     );
+    Ok(())
 }

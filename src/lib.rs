@@ -19,7 +19,11 @@
 //! * [`core`] (crate `fock-core`) — the paper's algorithm (static
 //!   partitioning + prefetch + work stealing), the NWChem-style baseline,
 //!   the SCF driver, the Section III-G performance model, and cluster-scale
-//!   simulated executions.
+//!   simulated executions;
+//! * [`service`] (crate `scf-service`) — the multi-tenant SCF service: a
+//!   bounded job queue and a shared worker pool interleaving many
+//!   concurrent SCF runs at shell-pair-task granularity, with `Arc`-shared
+//!   per-basis setup and per-job latency accounting.
 //!
 //! ## Quickstart
 //!
@@ -42,3 +46,4 @@ pub use eri;
 pub use fock_core as core;
 pub use linalg;
 pub use obs;
+pub use scf_service as service;

@@ -9,7 +9,7 @@ use fock_repro::chem::shells::BasisInstance;
 use fock_repro::chem::{generators, BasisSetKind};
 use fock_repro::core::scf::{run_scf, ScfConfig, ScfResult};
 use fock_repro::core::sim_exec::{GtfockSimModel, StealConfig};
-use fock_repro::core::{gtfock_builder, FockProblem, SchedulerOpts};
+use fock_repro::core::{BuilderKind, FockProblem, SchedulerOpts};
 use fock_repro::distrt::{FaultPlan, MachineParams, ProcessGrid};
 use fock_repro::eri::CostModel;
 use fock_repro::obs::Recorder;
@@ -22,7 +22,7 @@ fn scf_with(grid: ProcessGrid, fault: Option<Arc<FaultPlan>>) -> ScfResult {
         opts = opts.fault(p);
     }
     let cfg = ScfConfig::builder()
-        .fock_builder(gtfock_builder(opts.gtfock()))
+        .fock_builder(BuilderKind::Gtfock.build_shared(&opts))
         .ordering(ShellOrdering::cells_default())
         .diis(true)
         .e_tol(1e-10)

@@ -6,9 +6,7 @@
 
 use fock_repro::chem::reorder::ShellOrdering;
 use fock_repro::chem::{generators, BasisSetKind};
-use fock_repro::core::build::{
-    gtfock_builder, nwchem_builder, seq_builder, FockBuild, SchedulerOpts, QUARTETS_COUNTER,
-};
+use fock_repro::core::build::{BuilderKind, FockBuild, SchedulerOpts, QUARTETS_COUNTER};
 use fock_repro::core::seq::build_g_seq;
 use fock_repro::core::tasks::FockProblem;
 use fock_repro::distrt::ProcessGrid;
@@ -46,16 +44,13 @@ fn max_diff(a: &[f64], b: &[f64]) -> f64 {
 /// process counts / grids.
 fn all_builders() -> Vec<Arc<dyn FockBuild + Send + Sync>> {
     vec![
-        seq_builder(),
-        gtfock_builder(SchedulerOpts::with_grid(ProcessGrid::new(1, 1)).gtfock()),
-        gtfock_builder(SchedulerOpts::with_grid(ProcessGrid::new(2, 2)).gtfock()),
-        gtfock_builder(
-            SchedulerOpts::with_grid(ProcessGrid::new(2, 3))
-                .steal(false)
-                .gtfock(),
-        ),
-        nwchem_builder(SchedulerOpts::with_nprocs(1).nwchem()),
-        nwchem_builder(SchedulerOpts::with_nprocs(3).chunk(2).nwchem()),
+        BuilderKind::Seq.build_shared(&SchedulerOpts::default()),
+        BuilderKind::Gtfock.build_shared(&SchedulerOpts::with_grid(ProcessGrid::new(1, 1))),
+        BuilderKind::Gtfock.build_shared(&SchedulerOpts::with_grid(ProcessGrid::new(2, 2))),
+        BuilderKind::Gtfock
+            .build_shared(&SchedulerOpts::with_grid(ProcessGrid::new(2, 3)).steal(false)),
+        BuilderKind::Nwchem.build_shared(&SchedulerOpts::with_nprocs(1)),
+        BuilderKind::Nwchem.build_shared(&SchedulerOpts::with_nprocs(3).chunk(2)),
     ]
 }
 
@@ -171,9 +166,10 @@ proptest! {
         .unwrap();
         let d = test_density(prob.nbf(), seed);
         let builders: Vec<Arc<dyn FockBuild + Send + Sync>> = vec![
-            seq_builder(),
-            gtfock_builder(SchedulerOpts::with_grid(ProcessGrid::new(rows, cols)).gtfock()),
-            nwchem_builder(SchedulerOpts::with_nprocs(rows * cols).nwchem()),
+            BuilderKind::Seq.build_shared(&SchedulerOpts::default()),
+            BuilderKind::Gtfock
+                .build_shared(&SchedulerOpts::with_grid(ProcessGrid::new(rows, cols))),
+            BuilderKind::Nwchem.build_shared(&SchedulerOpts::with_nprocs(rows * cols)),
         ];
         for b in builders {
             let rec = Recorder::enabled();

@@ -5,9 +5,7 @@
 
 use fock_repro::chem::reorder::ShellOrdering;
 use fock_repro::chem::{generators, BasisSetKind};
-use fock_repro::core::build::{gtfock_builder, nwchem_builder};
-use fock_repro::core::gtfock::GtfockConfig;
-use fock_repro::core::nwchem::NwchemConfig;
+use fock_repro::core::build::{BuilderKind, SchedulerOpts};
 use fock_repro::core::scf::{run_scf, ScfConfig};
 use fock_repro::distrt::ProcessGrid;
 use proptest::prelude::*;
@@ -120,11 +118,8 @@ fn incremental_parallel_builders_agree_with_seq() {
         generators::methane(),
         BasisSetKind::Sto3g,
         ScfConfig {
-            builder: gtfock_builder(GtfockConfig {
-                grid: ProcessGrid::new(2, 2),
-                steal: true,
-                fault: None,
-            }),
+            builder: BuilderKind::Gtfock
+                .build_shared(&SchedulerOpts::with_grid(ProcessGrid::new(2, 2))),
             ..base.clone()
         },
     )
@@ -133,10 +128,7 @@ fn incremental_parallel_builders_agree_with_seq() {
         generators::methane(),
         BasisSetKind::Sto3g,
         ScfConfig {
-            builder: nwchem_builder(NwchemConfig {
-                nprocs: 2,
-                chunk: 3,
-            }),
+            builder: BuilderKind::Nwchem.build_shared(&SchedulerOpts::with_nprocs(2).chunk(3)),
             ..base
         },
     )

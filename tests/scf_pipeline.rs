@@ -4,9 +4,7 @@
 
 use fock_repro::chem::reorder::ShellOrdering;
 use fock_repro::chem::{generators, BasisSetKind};
-use fock_repro::core::build::{gtfock_builder, nwchem_builder};
-use fock_repro::core::gtfock::GtfockConfig;
-use fock_repro::core::nwchem::NwchemConfig;
+use fock_repro::core::build::{BuilderKind, SchedulerOpts};
 use fock_repro::core::scf::{run_scf, DensityMethod, ScfConfig};
 use fock_repro::distrt::ProcessGrid;
 
@@ -74,11 +72,9 @@ fn methane_sto3g_reference_energy() {
 #[test]
 fn water_full_pipeline_gtfock_builder() {
     let cfg = ScfConfig::builder()
-        .fock_builder(gtfock_builder(GtfockConfig {
-            grid: ProcessGrid::new(2, 2),
-            steal: true,
-            fault: None,
-        }))
+        .fock_builder(
+            BuilderKind::Gtfock.build_shared(&SchedulerOpts::with_grid(ProcessGrid::new(2, 2))),
+        )
         .ordering(ShellOrdering::cells_default())
         .build();
     let par = run_scf(generators::water(), BasisSetKind::Sto3g, cfg).unwrap();
@@ -100,10 +96,7 @@ fn water_full_pipeline_gtfock_builder() {
 #[test]
 fn water_full_pipeline_nwchem_builder_with_purification() {
     let cfg = ScfConfig {
-        builder: nwchem_builder(NwchemConfig {
-            nprocs: 3,
-            chunk: 4,
-        }),
+        builder: BuilderKind::Nwchem.build_shared(&SchedulerOpts::with_nprocs(3).chunk(4)),
         density: DensityMethod::Purification,
         ..ScfConfig::default()
     };

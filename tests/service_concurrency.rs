@@ -1,0 +1,169 @@
+//! Multi-tenant service guarantees: jobs submitted concurrently from
+//! many threads converge to the same energies as serial `run_scf` runs
+//! (≤ 1e-10 Ha, despite nondeterministic pool merge order), repeated
+//! (molecule, basis) submissions hit the shared setup cache, and the
+//! bounded queue sheds load under the Reject admission policy.
+
+use fock_repro::chem::{generators, BasisSetKind, Molecule};
+use fock_repro::core::scf::{run_scf, ScfConfig};
+use fock_repro::service::{
+    AdmissionPolicy, JobSpec, JobStatus, ScfService, ServiceConfig, SubmitError,
+};
+
+const TOL: f64 = 1e-10;
+
+fn scf_cfg() -> ScfConfig {
+    ScfConfig::builder()
+        .diis(true)
+        .e_tol(1e-10)
+        .d_tol(1e-8)
+        .build()
+}
+
+fn mix() -> Vec<(Molecule, BasisSetKind)> {
+    vec![
+        (generators::water(), BasisSetKind::Sto3g),
+        (generators::hydrogen(1.4), BasisSetKind::CcPvdz),
+        (generators::helium(), BasisSetKind::Sto3g),
+        (generators::methane(), BasisSetKind::Sto3g),
+    ]
+}
+
+#[test]
+fn threaded_submissions_match_serial_energies() {
+    let jobs = mix();
+    let serial: Vec<f64> = jobs
+        .iter()
+        .map(|(m, b)| run_scf(m.clone(), *b, scf_cfg()).unwrap().energy)
+        .collect();
+
+    let svc = ScfService::new(ServiceConfig::default());
+    // Two submitter threads per spec, so every spec runs twice and at
+    // least one submission of each pair shares the cached setup.
+    let handles = std::thread::scope(|s| {
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let svc = &svc;
+                let jobs = &jobs;
+                s.spawn(move || {
+                    jobs.iter()
+                        .map(|(m, b)| svc.submit(JobSpec::new(m.clone(), *b).scf(scf_cfg())))
+                        .collect::<Result<Vec<_>, _>>()
+                        .expect("default queue capacity fits the batch")
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+
+    for (i, h) in handles.iter().enumerate() {
+        let r = h.wait().expect("job failed");
+        assert!(r.converged, "job {i} did not converge");
+        let want = serial[i % jobs.len()];
+        assert!(
+            (r.energy - want).abs() <= TOL,
+            "job {i}: pooled energy {} vs serial {} (|dE| = {:.3e})",
+            r.energy,
+            want,
+            (r.energy - want).abs()
+        );
+        assert!(matches!(h.status(), JobStatus::Done));
+    }
+    // Each spec ran twice; the second run of each must have found the
+    // first run's preparation in the cache.
+    assert!(
+        svc.cache_hits() >= jobs.len() as u64,
+        "expected ≥{} setup-cache hits, got {}",
+        jobs.len(),
+        svc.cache_hits()
+    );
+    svc.shutdown();
+}
+
+#[test]
+fn repeated_setup_key_hits_cache() {
+    let svc = ScfService::new(ServiceConfig::default());
+    let spec = || JobSpec::new(generators::water(), BasisSetKind::Sto3g).scf(scf_cfg());
+
+    let first = svc.submit(spec()).unwrap().wait().unwrap();
+    let second = svc.submit(spec()).unwrap().wait().unwrap();
+    assert!(!first.cache_hit, "first submission must build the setup");
+    assert!(
+        second.cache_hit,
+        "identical resubmission must hit the cache"
+    );
+    assert_eq!(svc.cache_misses(), 1);
+    assert_eq!(svc.cache_hits(), 1);
+    assert!((first.energy - second.energy).abs() <= TOL);
+    // Setup time should be charged on the miss, and the hit skips it
+    // entirely (cache lookup only).
+    assert!(first.timing.setup_ns > 0);
+}
+
+#[test]
+fn reject_policy_sheds_load_when_queue_full() {
+    let svc = ScfService::new(ServiceConfig {
+        max_concurrent_jobs: 1,
+        queue_capacity: 1,
+        admission: AdmissionPolicy::Reject,
+        ..ServiceConfig::default()
+    });
+    let spec = |label: &str| {
+        JobSpec::new(generators::linear_alkane(3), BasisSetKind::Sto3g)
+            .scf(scf_cfg())
+            .label(label)
+    };
+
+    // Occupy the single dispatcher, then wait until it has actually
+    // dequeued the job so the queue slot is free again.
+    let running = svc.submit(spec("running")).unwrap();
+    while matches!(running.status(), JobStatus::Queued) {
+        std::thread::yield_now();
+    }
+    // Fill the one queue slot; the dispatcher is busy so it stays put.
+    let queued = svc.submit(spec("queued")).unwrap();
+    // The next submission must be shed, not blocked.
+    match svc.submit(spec("shed")) {
+        Err(SubmitError::QueueFull { capacity }) => assert_eq!(capacity, 1),
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+
+    let a = running.wait().unwrap();
+    let b = queued.wait().unwrap();
+    assert!(a.converged && b.converged);
+    assert!((a.energy - b.energy).abs() <= TOL);
+    // The queued job's latency accounting must show real queueing delay.
+    assert!(b.timing.queue_ns > 0);
+    assert!(b.cache_hit, "second alkane job shares the first setup");
+    svc.shutdown();
+}
+
+#[test]
+fn drop_drains_already_submitted_jobs() {
+    // Tearing the service down must not orphan admitted jobs: every
+    // handle handed out by `submit` resolves even if the service is
+    // dropped immediately after submission.
+    let svc = ScfService::new(ServiceConfig {
+        max_concurrent_jobs: 1,
+        ..ServiceConfig::default()
+    });
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let spec = JobSpec::new(generators::helium(), BasisSetKind::Sto3g)
+                .scf(scf_cfg())
+                .label(format!("teardown-{i}"));
+            svc.submit(spec).unwrap()
+        })
+        .collect();
+    drop(svc);
+    for h in &handles {
+        let r = h
+            .wait()
+            .expect("admitted job must complete across teardown");
+        assert!(r.converged);
+        assert!(matches!(h.status(), JobStatus::Done));
+    }
+}
